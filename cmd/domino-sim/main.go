@@ -1,0 +1,152 @@
+// Command domino-sim runs one channel-access simulation and reports
+// throughput, delay and fairness.
+//
+// Topologies:
+//
+//	-topo fig1|fig7|fig13a|fig13b        the paper's drawn networks
+//	-topo sc|ht|et                       two AP-client pairs (Table 2 placements)
+//	-topo campus -aps 10 -clients 2      T(m,n) from the synthetic campus trace
+//	-topo random -aps 20 -clients 3      T(m,n) from a random 800×800 m placement
+//
+// Examples:
+//
+//	domino-sim -topo fig1 -scheme domino -traffic saturated -duration 10s
+//	domino-sim -topo campus -aps 10 -clients 2 -scheme dcf -down 10 -up 4
+//	domino-sim -topo ht -scheme domino -trace | head -50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/domino"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func main() {
+	var (
+		topoFlag = flag.String("topo", "fig1", "fig1|fig7|fig13a|fig13b|sc|ht|et|campus|random")
+		aps      = flag.Int("aps", 10, "APs for campus/random topologies")
+		clients  = flag.Int("clients", 2, "clients per AP for campus/random topologies")
+		scheme   = flag.String("scheme", "domino", "dcf|centaur|domino|omniscient")
+		traffic  = flag.String("traffic", "saturated", "saturated|udp|tcp")
+		down     = flag.Float64("down", 10, "downlink offered Mbps per link (udp/tcp)")
+		up       = flag.Float64("up", 10, "uplink offered Mbps per link (udp/tcp)")
+		duration = flag.Duration("duration", 5*time.Second, "simulated time")
+		warmup   = flag.Duration("warmup", 500*time.Millisecond, "statistics warm-up")
+		seed     = flag.Int64("seed", 1, "random seed")
+		noDown   = flag.Bool("nodownlink", false, "omit downlink links")
+		noUp     = flag.Bool("nouplink", false, "omit uplink links")
+		trace    = flag.Bool("trace", false, "print DOMINO engine trace events")
+	)
+	flag.Parse()
+
+	net, err := buildTopo(*topoFlag, *aps, *clients, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	sc := core.Scenario{
+		Net:      net,
+		Downlink: !*noDown,
+		Uplink:   !*noUp,
+		Seed:     *seed,
+		Duration: sim.Time(duration.Nanoseconds()),
+		Warmup:   sim.Time(warmup.Nanoseconds()),
+		DownMbps: *down,
+		UpMbps:   *up,
+	}
+	switch *scheme {
+	case "dcf":
+		sc.Scheme = core.DCF
+	case "centaur":
+		sc.Scheme = core.CENTAUR
+	case "domino":
+		sc.Scheme = core.DOMINO
+	case "omniscient":
+		sc.Scheme = core.Omniscient
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+	switch *traffic {
+	case "saturated":
+		sc.Traffic = core.Saturated
+	case "udp":
+		sc.Traffic = core.UDPCBR
+	case "tcp":
+		sc.Traffic = core.TCP
+	default:
+		fmt.Fprintf(os.Stderr, "unknown traffic %q\n", *traffic)
+		os.Exit(2)
+	}
+	if *trace {
+		sc.Trace = func(ev domino.TraceEvent) {
+			link := ""
+			if ev.Link != nil {
+				link = ev.Link.String()
+			}
+			fmt.Printf("%12v slot %-4d %-10s node %-3d %s\n", ev.At, ev.Slot, ev.Kind, ev.Node, link)
+		}
+	}
+
+	res := core.Run(sc)
+
+	fmt.Printf("scheme=%s topo=%s traffic=%s duration=%v seed=%d\n",
+		sc.Scheme, *topoFlag, *traffic, *duration, *seed)
+	fmt.Printf("aggregate: %.2f Mbps   mean delay: %v   Jain fairness: %.3f\n",
+		res.AggregateMbps, res.MeanDelay, res.Fairness)
+	fmt.Println("per-link throughput (Mbps):")
+	for _, l := range res.Links {
+		fmt.Printf("  %-12s %8.3f\n", l, res.PerLinkMbps[l.ID])
+	}
+	if d := res.Domino; d != nil {
+		fmt.Printf("domino: slots=%d data=%d fake=%d polls=%d ackMisses=%d selfStarts=%d drops=%d\n",
+			d.Slots(), d.DataSends, d.FakeSends, d.Polls, d.AckMisses, d.SelfStarts, d.Drops)
+	}
+	if d := res.Dcf; d != nil {
+		fmt.Printf("dcf: ackTimeouts=%d drops=%d\n", d.AckTimeouts, d.Drops)
+	}
+	if c := res.Centaur; c != nil {
+		fmt.Printf("centaur: epochs=%d ackTimeouts=%d drops=%d\n", c.Epochs, c.AckTimeouts, c.Drops)
+	}
+	if o := res.Omni; o != nil {
+		fmt.Printf("omniscient: slots=%d failures=%d\n", o.Slots, o.Failures)
+	}
+}
+
+func buildTopo(name string, m, n int, seed int64) (*topo.Network, error) {
+	switch name {
+	case "fig1":
+		return topo.Figure1(), nil
+	case "fig7":
+		return topo.Figure7(), nil
+	case "fig13a":
+		return topo.Figure13a(), nil
+	case "fig13b":
+		return topo.Figure13b(), nil
+	case "sc":
+		return topo.TwoPairs(topo.SameContention), nil
+	case "ht":
+		return topo.TwoPairs(topo.HiddenTerminals), nil
+	case "et":
+		return topo.TwoPairs(topo.ExposedTerminals), nil
+	case "campus":
+		tr := topo.CampusTrace(seed)
+		rng := rand.New(rand.NewSource(seed))
+		return topo.BuildT(tr, m, n, phy.DefaultConfig(), phy.Rate12, rng)
+	case "random":
+		tr := topo.RandomTrace(seed, 110, 800)
+		rng := rand.New(rand.NewSource(seed))
+		return topo.BuildT(tr, m, n, phy.DefaultConfig(), phy.Rate12, rng)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}

@@ -1,0 +1,189 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run all            # everything, quick scale
+//	experiments -run fig12udp,fig14 -scale paper
+//	experiments -run fig2 -seed 7 -duration 10s
+//
+// Every experiment prints the same rows/series the paper reports. -scale
+// paper uses the evaluation's 50-second runs and full repetition counts;
+// -scale quick (default) is sized for a laptop minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(o exp.Options)
+	// csv, when non-nil, writes the experiment's machine-readable series.
+	csv func(o exp.Options, w io.Writer) error
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"table1", "ROP OFDM symbol parameters (Table 1)", func(o exp.Options) {
+			exp.Table1(os.Stdout)
+		}, nil},
+		{"fig2", "Fig 1 network: DCF/CENTAUR/DOMINO/omniscient (Fig 2)", func(o exp.Options) {
+			exp.Fig2(o).Print(os.Stdout)
+		}, nil},
+		{"fig5", "received spectra, adjacent subchannels (Fig 5)", func(o exp.Options) {
+			exp.Fig5(o.Seed).Print(os.Stdout)
+		}, nil},
+		{"fig6", "guard subcarriers vs RSS difference (Fig 6)",
+			func(o exp.Options) { exp.Fig6(o).Print(os.Stdout) },
+			func(o exp.Options, w io.Writer) error { return exp.Fig6(o).CSV(w) }},
+		{"snrfloor", "ROP decode ratio vs SNR (§3.1)", func(o exp.Options) {
+			exp.SNRFloor(o).Print(os.Stdout)
+		}, nil},
+		{"fig9", "signature detection vs combined count (Fig 9)",
+			func(o exp.Options) { exp.Fig9(o).Print(os.Stdout) },
+			func(o exp.Options, w io.Writer) error { return exp.Fig9(o).CSV(w) }},
+		{"fig10", "relative-schedule timeline on the Fig 7 network (Fig 10)", func(o exp.Options) {
+			exp.PrintFig10(os.Stdout, exp.Fig10(o, 60))
+		}, nil},
+		{"table2", "USRP prototype: SC/HT/ET, DOMINO vs DCF (Table 2)", func(o exp.Options) {
+			exp.Table2(o).Print(os.Stdout)
+		}, nil},
+		{"fig11", "TX misalignment convergence vs wired jitter (Fig 11)",
+			func(o exp.Options) { exp.Fig11(o).Print(os.Stdout) },
+			func(o exp.Options, w io.Writer) error { return exp.Fig11(o).CSV(w) }},
+		{"fig12udp", "UDP throughput/delay/fairness vs uplink rate (Fig 12a-c)",
+			func(o exp.Options) { exp.Fig12(o, core.UDPCBR).Print(os.Stdout) },
+			func(o exp.Options, w io.Writer) error { return exp.Fig12(o, core.UDPCBR).CSV(w) }},
+		{"fig12tcp", "TCP throughput/delay/fairness vs uplink rate (Fig 12d-f)",
+			func(o exp.Options) { exp.Fig12(o, core.TCP).Print(os.Stdout) },
+			func(o exp.Options, w io.Writer) error { return exp.Fig12(o, core.TCP).CSV(w) }},
+		{"table3", "exposed-link topologies of Fig 13 (Table 3)", func(o exp.Options) {
+			exp.Table3(o).Print(os.Stdout)
+		}, nil},
+		{"fig14", "CDF of DOMINO/DCF gain on random T(20,3) (Fig 14)",
+			func(o exp.Options) { exp.Fig14(o).Print(os.Stdout) },
+			func(o exp.Options, w io.Writer) error { return exp.Fig14(o).CSV(w) }},
+		{"polling", "batch size / polling frequency sweep (§5)", func(o exp.Options) {
+			exp.PollingSweep(o).Print(os.Stdout)
+		}, nil},
+		{"lightload", "light-traffic delay, T(6,5) at 6 KBps (§5)", func(o exp.Options) {
+			exp.LightLoad(o).Print(os.Stdout)
+		}, nil},
+		{"coexist", "CFP/CoP coexistence with external DCF traffic (§5, Fig 15)",
+			func(o exp.Options) { exp.Coexist(o).Print(os.Stdout) },
+			func(o exp.Options, w io.Writer) error { return exp.Coexist(o).CSV(w) }},
+	}
+}
+
+func main() {
+	var (
+		runFlag  = flag.String("run", "", "comma-separated experiment names, or 'all'")
+		list     = flag.Bool("list", false, "list available experiments")
+		scale    = flag.String("scale", "quick", "quick | paper")
+		seed     = flag.Int64("seed", 1, "random seed")
+		duration = flag.Duration("duration", 0, "override simulated run length")
+		runs     = flag.Int("runs", 0, "override Monte-Carlo repetition count")
+		csvDir   = flag.String("csv", "", "also write machine-readable CSV series into this directory")
+	)
+	flag.Parse()
+
+	all := experiments()
+	if *list || *runFlag == "" {
+		fmt.Println("available experiments:")
+		for _, e := range all {
+			fmt.Printf("  %-10s %s\n", e.name, e.desc)
+		}
+		if *runFlag == "" {
+			fmt.Println("\nrun with: experiments -run all | -run fig2,fig12udp [-scale paper]")
+		}
+		return
+	}
+
+	var o exp.Options
+	switch *scale {
+	case "paper":
+		o = exp.Paper()
+	case "quick":
+		o = exp.Quick()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	o.Seed = *seed
+	if *duration > 0 {
+		o.Duration = sim.Time(duration.Nanoseconds())
+	}
+	if *runs > 0 {
+		o.Runs = *runs
+	}
+
+	want := map[string]bool{}
+	if *runFlag == "all" {
+		for _, e := range all {
+			want[e.name] = true
+		}
+	} else {
+		for _, n := range strings.Split(*runFlag, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+	known := map[string]bool{}
+	for _, e := range all {
+		known[e.name] = true
+	}
+	var unknown []string
+	for n := range want {
+		if !known[n] {
+			unknown = append(unknown, n)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		fmt.Fprintf(os.Stderr, "unknown experiments: %s (use -list)\n", strings.Join(unknown, ", "))
+		os.Exit(2)
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range all {
+		if !want[e.name] {
+			continue
+		}
+		start := time.Now()
+		fmt.Printf("== %s: %s\n", e.name, e.desc)
+		e.run(o)
+		if *csvDir != "" && e.csv != nil {
+			path := filepath.Join(*csvDir, e.name+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := e.csv(o, f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("   csv: %s\n", path)
+		}
+		fmt.Printf("   (%.1fs)\n\n", time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,41 @@
+// Coexistence demonstrates the §5 CFP/CoP split (paper Fig 15): a DOMINO
+// cell shares one collision domain with an external, un-schedulable DCF
+// pair. During the contention-free period DOMINO's frames carry a NAV to the
+// CFP end, so the external sender defers; the contention period after each
+// batch hands it the channel.
+//
+//	go run ./examples/coexistence
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+func main() {
+	fmt.Println("One collision domain: a DOMINO AP-client cell plus an external")
+	fmt.Println("802.11 DCF pair that the central server cannot schedule.")
+	fmt.Println()
+
+	res := exp.Coexist(exp.Options{
+		Seed:     1,
+		Duration: 4 * sim.Second,
+		Warmup:   500 * sim.Millisecond,
+	})
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "CoP per batch\tDOMINO (Mbps)\texternal DCF (Mbps)\t")
+	for i, cop := range res.CoPMs {
+		fmt.Fprintf(w, "%.0f ms\t%.2f\t%.2f\t\n", cop, res.DominoMbps[i], res.ExternalMbps[i])
+	}
+	w.Flush()
+
+	fmt.Println()
+	fmt.Println("With no contention period the NAV-protected trigger chain starves")
+	fmt.Println("the external sender; widening the CoP trades DOMINO throughput for")
+	fmt.Println("a fair external share, exactly the server-tunable split of Fig 15.")
+}

@@ -1,0 +1,311 @@
+// Package core assembles complete experiment scenarios: a topology, a
+// channel-access scheme (DCF, CENTAUR, DOMINO or the omniscient upper
+// bound), a traffic pattern, and a measurement window — and runs them to a
+// Result. It is the high-level API the examples, the experiment harness and
+// the CLIs build on; the paper's individual mechanisms live in the packages
+// it wires together.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/centaur"
+	"repro/internal/dcf"
+	"repro/internal/domino"
+	"repro/internal/mac"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/strict"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// Scheme selects the channel-access protocol under test.
+type Scheme int
+
+const (
+	// DCF is the 802.11 distributed baseline.
+	DCF Scheme = iota
+	// CENTAUR is the hybrid scheduled-downlink / DCF-uplink baseline.
+	CENTAUR
+	// DOMINO is the paper's relative-scheduling system.
+	DOMINO
+	// Omniscient is the perfectly synchronized, perfect-knowledge upper
+	// bound of Fig 2.
+	Omniscient
+)
+
+// String names the scheme as in the paper's figures.
+func (s Scheme) String() string {
+	switch s {
+	case DCF:
+		return "DCF"
+	case CENTAUR:
+		return "CENTAUR"
+	case DOMINO:
+		return "DOMINO"
+	case Omniscient:
+		return "Omniscient"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// TrafficKind selects the workload.
+type TrafficKind int
+
+const (
+	// Saturated keeps every selected link's queue backlogged.
+	Saturated TrafficKind = iota
+	// UDPCBR offers constant-bit-rate datagrams.
+	UDPCBR
+	// TCP runs the Reno model per link, ACKs riding the reverse link.
+	TCP
+)
+
+// Scenario describes one run.
+type Scenario struct {
+	// Net is the topology. Links are built from it unless Links is set.
+	Net *topo.Network
+	// Links overrides the link set (nil: build from Downlink/Uplink flags).
+	Links []*topo.Link
+	// Downlink/Uplink select which directions exist when Links is nil.
+	Downlink, Uplink bool
+
+	Scheme Scheme
+	Seed   int64
+	// Duration is the simulated time (measurement ends here).
+	Duration sim.Time
+	// Warmup excludes the initial transient from the statistics.
+	Warmup sim.Time
+
+	Traffic TrafficKind
+	// DownMbps/UpMbps are offered loads per link for UDPCBR and TCP.
+	DownMbps, UpMbps float64
+	// PacketBytes is the datagram/segment size (default 512).
+	PacketBytes int
+
+	// PhyConfig overrides the medium parameters (zero value: defaults).
+	PhyConfig *phy.Config
+	// Rate is the PHY data rate (default 12 Mbps).
+	Rate phy.Rate
+
+	// Tune hooks mutate scheme configs before the engine is built.
+	TuneDomino  func(*domino.Config)
+	TuneDCF     func(*dcf.Config)
+	TuneCentaur func(*centaur.Config)
+
+	// MisalignSlots arms DOMINO's misalignment probe (Fig 11).
+	MisalignSlots int
+	// Trace receives DOMINO engine events (Fig 10 microscope).
+	Trace func(domino.TraceEvent)
+}
+
+// Result carries a run's measurements.
+type Result struct {
+	Links         []*topo.Link
+	PerLinkMbps   []float64
+	AggregateMbps float64
+	// MeanDelay is the packet-weighted mean delivery delay; MeanDelayPerLink
+	// weights links equally (the paper's Fig 12 delay metric).
+	MeanDelay        sim.Time
+	MeanDelayPerLink sim.Time
+	Fairness         float64
+
+	// DataMbps sums goodput over non-TCP-ACK... for TCP runs this is the
+	// forward-direction data goodput only.
+	DataMbps float64
+
+	// Scheme internals for deeper inspection (nil unless that scheme ran).
+	Domino     *domino.Engine
+	Dcf        *dcf.Engine
+	Centaur    *centaur.Engine
+	Omni       *strict.Omniscient
+	Collector  *stats.Collector
+	Misalign   *stats.Misalignment
+	TCPFlows   []*traffic.TCPFlow
+	dataLinkID map[int]bool
+}
+
+// Run executes the scenario and returns its measurements.
+func Run(s Scenario) Result {
+	if err := s.Net.Validate(); err != nil {
+		panic(fmt.Sprintf("core: invalid network: %v", err))
+	}
+	if s.PacketBytes == 0 {
+		s.PacketBytes = 512
+	}
+	if s.Rate == 0 {
+		s.Rate = phy.Rate12
+	}
+	if s.Duration == 0 {
+		s.Duration = 10 * sim.Second
+	}
+	links := s.Links
+	if links == nil {
+		links = s.Net.BuildLinks(s.Downlink, s.Uplink)
+	}
+	pcfg := phy.DefaultConfig()
+	if s.PhyConfig != nil {
+		pcfg = *s.PhyConfig
+	}
+	g := topo.NewConflictGraph(s.Net, links, pcfg, s.Rate)
+	k := sim.New(s.Seed)
+	medium := phy.NewMedium(k, s.Net.RSS, pcfg)
+	hub := &mac.Hub{}
+
+	res := Result{Links: links, dataLinkID: map[int]bool{}}
+
+	var engine mac.Engine
+	switch s.Scheme {
+	case DCF:
+		cfg := dcf.DefaultConfig()
+		cfg.Rate = s.Rate
+		if s.TuneDCF != nil {
+			s.TuneDCF(&cfg)
+		}
+		e := dcf.New(k, medium, links, hub, cfg)
+		res.Dcf = e
+		engine = e
+	case CENTAUR:
+		cfg := centaur.DefaultConfig()
+		cfg.Rate = s.Rate
+		if s.TuneCentaur != nil {
+			s.TuneCentaur(&cfg)
+		}
+		e := centaur.New(k, medium, g, hub, cfg)
+		res.Centaur = e
+		engine = e
+	case DOMINO:
+		cfg := domino.DefaultConfig()
+		cfg.Rate = s.Rate
+		cfg.VirtualBytes = s.PacketBytes
+		cfg.MisalignSlots = s.MisalignSlots
+		if s.TuneDomino != nil {
+			s.TuneDomino(&cfg)
+		}
+		e := domino.New(k, medium, g, hub, cfg)
+		if s.Trace != nil {
+			e.Trace = s.Trace
+		}
+		res.Domino = e
+		res.Misalign = e.Misalign
+		engine = e
+	case Omniscient:
+		cfg := strict.DefaultConfig()
+		cfg.Rate = s.Rate
+		e := strict.New(k, medium, g, hub, cfg)
+		res.Omni = e
+		engine = e
+	default:
+		panic(fmt.Sprintf("core: unknown scheme %d", int(s.Scheme)))
+	}
+
+	coll := stats.NewCollector(len(links), s.Warmup)
+	hub.Add(coll)
+	res.Collector = coll
+
+	// Traffic.
+	switch s.Traffic {
+	case Saturated:
+		for _, l := range links {
+			res.dataLinkID[l.ID] = true
+			src := traffic.NewSaturated(k, engine, l, s.PacketBytes, 8)
+			hub.Add(src)
+			src.Start()
+		}
+	case UDPCBR:
+		for _, l := range links {
+			rate := s.UpMbps
+			if l.Downlink {
+				rate = s.DownMbps
+			}
+			if rate <= 0 {
+				continue
+			}
+			res.dataLinkID[l.ID] = true
+			traffic.NewUDP(k, engine, l, rate, s.PacketBytes).Start()
+		}
+	case TCP:
+		// One flow per direction per AP-client pair, ACKs on the reverse
+		// link. Both directions must exist in the link set.
+		byPair := map[[2]phy.NodeID]map[bool]*topo.Link{}
+		for _, l := range links {
+			key := [2]phy.NodeID{l.AP, otherEnd(l)}
+			if byPair[key] == nil {
+				byPair[key] = map[bool]*topo.Link{}
+			}
+			byPair[key][l.Downlink] = l
+		}
+		id := 0
+		for _, pair := range orderedPairs(byPair) {
+			dirs := byPair[pair]
+			down, up := dirs[true], dirs[false]
+			if down == nil || up == nil {
+				continue
+			}
+			if s.DownMbps != 0 {
+				f := traffic.NewTCPFlow(k, engine, id, down, up, traffic.DefaultTCPConfig(s.DownMbps))
+				res.dataLinkID[down.ID] = true
+				hub.Add(f)
+				res.TCPFlows = append(res.TCPFlows, f)
+				f.Start()
+				id++
+			}
+			if s.UpMbps != 0 {
+				f := traffic.NewTCPFlow(k, engine, id, up, down, traffic.DefaultTCPConfig(s.UpMbps))
+				res.dataLinkID[up.ID] = true
+				hub.Add(f)
+				res.TCPFlows = append(res.TCPFlows, f)
+				f.Start()
+				id++
+			}
+		}
+	}
+
+	engine.Start()
+	k.RunUntil(s.Duration)
+
+	res.PerLinkMbps = coll.PerLinkMbps(s.Duration)
+	res.AggregateMbps = coll.AggregateMbps(s.Duration)
+	res.MeanDelay = coll.MeanDelay()
+	res.MeanDelayPerLink = coll.MeanDelayPerLink()
+	var dataRates []float64
+	for id := range res.PerLinkMbps {
+		if res.dataLinkID[id] {
+			res.DataMbps += res.PerLinkMbps[id]
+			dataRates = append(dataRates, res.PerLinkMbps[id])
+		}
+	}
+	res.Fairness = stats.JainIndex(dataRates)
+	return res
+}
+
+func otherEnd(l *topo.Link) phy.NodeID {
+	if l.Downlink {
+		return l.Receiver
+	}
+	return l.Sender
+}
+
+// orderedPairs returns map keys in deterministic order.
+func orderedPairs(m map[[2]phy.NodeID]map[bool]*topo.Link) [][2]phy.NodeID {
+	var keys [][2]phy.NodeID
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && less(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func less(a, b [2]phy.NodeID) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}

@@ -1,0 +1,354 @@
+// Package dcf implements the 802.11 Distributed Coordination Function — the
+// paper's primary baseline: CSMA/CA with binary exponential backoff, DIFS
+// deference, SIFS-separated ACKs and retransmission up to the retry limit.
+// Hidden- and exposed-terminal behaviour is not coded here; it emerges from
+// carrier sensing against the phy medium.
+package dcf
+
+import (
+	"fmt"
+
+	"repro/internal/mac"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Config collects DCF timing and contention parameters. Defaults follow
+// 802.11g; the USRP prototype experiment (paper Table 2) inflates SlotTime
+// and SIFS to model GNURadio host latency.
+type Config struct {
+	SlotTime sim.Time
+	SIFS     sim.Time
+	DIFS     sim.Time
+	CWMin    int
+	CWMax    int
+	Rate     phy.Rate
+	AckRate  phy.Rate
+	QueueCap int
+	// ExtraFrameTime inflates every data frame's air time (USRP host
+	// latency); zero for real 802.11 hardware.
+	ExtraFrameTime sim.Time
+}
+
+// DefaultConfig returns 802.11g parameters at the evaluation's 12 Mbps PHY
+// rate.
+func DefaultConfig() Config {
+	return Config{
+		SlotTime: phy.SlotTime,
+		SIFS:     phy.SIFS,
+		DIFS:     phy.DIFS,
+		CWMin:    15,
+		CWMax:    1023,
+		Rate:     phy.Rate12,
+		AckRate:  phy.Rate12,
+		QueueCap: mac.DefaultQueueCap,
+	}
+}
+
+// Engine runs DCF over a medium and a set of links. Construct with New, wire
+// traffic in with Enqueue, call Start once.
+type Engine struct {
+	k      *sim.Kernel
+	medium *phy.Medium
+	links  []*topo.Link
+	events mac.Events
+	cfg    Config
+
+	queues []*mac.Queue // by link ID
+	nodes  map[phy.NodeID]*node
+
+	// Counters mirrored from the paper's diagnostics (§4.2.3 reports ACK
+	// timeout counts).
+	AckTimeouts int
+	Drops       int
+}
+
+type state int
+
+const (
+	stIdle state = iota
+	stBackoff
+	stTx
+	stWaitAck
+	stAcking
+)
+
+type node struct {
+	e     *Engine
+	id    phy.NodeID
+	links []*topo.Link // links this node sends on
+
+	st        state
+	pending   *mac.Packet
+	cw        int
+	counter   int
+	rr        int
+	fireEv    *sim.Event
+	fireBase  sim.Time // when DIFS+counting began
+	busySince sim.Time // when carrier sensing last turned busy
+	nav       sim.Time // virtual carrier sense (protects overheard ACKs)
+	timeoutEv *sim.Event
+}
+
+// setNAV reserves the medium until t (802.11 virtual carrier sensing).
+func (n *node) setNAV(t sim.Time) {
+	if t <= n.nav {
+		return
+	}
+	n.nav = t
+	n.e.k.At(t, func() { n.tryScheduleFire() })
+}
+
+// New creates a DCF engine for the given links. Each distinct sender among
+// the links becomes a contending node; every node named by any link is
+// registered on the medium (receivers must ACK).
+func New(k *sim.Kernel, medium *phy.Medium, links []*topo.Link, events mac.Events, cfg Config) *Engine {
+	if events == nil {
+		events = mac.NopEvents{}
+	}
+	e := &Engine{
+		k: k, medium: medium, links: links, events: events, cfg: cfg,
+		nodes: map[phy.NodeID]*node{},
+	}
+	e.queues = make([]*mac.Queue, len(links))
+	for _, l := range links {
+		if l.ID < 0 || l.ID >= len(links) {
+			panic(fmt.Sprintf("dcf: link IDs must be dense, got %d", l.ID))
+		}
+		e.queues[l.ID] = mac.NewQueue(cfg.QueueCap)
+	}
+	addNode := func(id phy.NodeID) *node {
+		n, ok := e.nodes[id]
+		if !ok {
+			n = &node{e: e, id: id, cw: cfg.CWMin}
+			e.nodes[id] = n
+			medium.Register(id, n)
+		}
+		return n
+	}
+	for _, l := range links {
+		addNode(l.Sender).links = append(addNode(l.Sender).links, l)
+		addNode(l.Receiver)
+	}
+	return e
+}
+
+// Start implements mac.Engine. DCF is purely reactive; nothing to arm.
+func (e *Engine) Start() {}
+
+// QueueLen implements mac.Engine.
+func (e *Engine) QueueLen(link int) int { return e.queues[link].Len() }
+
+// Enqueue implements mac.Engine.
+func (e *Engine) Enqueue(p *mac.Packet) {
+	if !e.queues[p.Link.ID].Push(p) {
+		e.events.Dropped(p, e.k.Now())
+		return
+	}
+	n := e.nodes[p.Link.Sender]
+	if n.st == stIdle {
+		n.serveNext()
+	}
+}
+
+// dataAirtime returns the on-air duration of a data frame.
+func (e *Engine) dataAirtime(bytes int) sim.Time {
+	return phy.Airtime(bytes, e.cfg.Rate) + e.cfg.ExtraFrameTime
+}
+
+func (e *Engine) ackAirtime() sim.Time {
+	return phy.Airtime(phy.AckBytes, e.cfg.AckRate) + e.cfg.ExtraFrameTime
+}
+
+// serveNext picks the node's next packet round-robin over its backlogged
+// links and begins contention.
+func (n *node) serveNext() {
+	if n.pending != nil || len(n.links) == 0 {
+		return
+	}
+	for i := 0; i < len(n.links); i++ {
+		l := n.links[(n.rr+i)%len(n.links)]
+		if p := n.e.queues[l.ID].Pop(); p != nil {
+			n.rr = (n.rr + i + 1) % len(n.links)
+			n.pending = p
+			n.startContention()
+			return
+		}
+	}
+	n.st = stIdle
+}
+
+// startContention draws a fresh backoff counter and begins counting down.
+func (n *node) startContention() {
+	n.counter = n.e.k.Rand().Intn(n.cw + 1)
+	n.st = stBackoff
+	n.tryScheduleFire()
+}
+
+// tryScheduleFire arms the transmit event if the channel is idle; otherwise
+// the node waits for CarrierChanged(false).
+func (n *node) tryScheduleFire() {
+	if n.st != stBackoff || n.fireEv != nil || n.e.medium.Busy(n.id) ||
+		n.e.k.Now() < n.nav {
+		return
+	}
+	n.fireBase = n.e.k.Now()
+	wait := n.e.cfg.DIFS + sim.Time(n.counter)*n.e.cfg.SlotTime
+	n.fireEv = n.e.k.After(wait, n.fire)
+}
+
+// CarrierChanged implements phy.Listener: pause and resume backoff.
+func (n *node) CarrierChanged(busy bool) {
+	if busy {
+		n.busySince = n.e.k.Now()
+	}
+	if n.st != stBackoff {
+		return
+	}
+	if busy {
+		// A fire due at this exact instant is committed: a station cannot
+		// abort within its RX/TX turnaround, which is how two stations
+		// drawing the same backoff slot genuinely collide.
+		if n.fireEv != nil && n.fireEv.At() > n.e.k.Now() {
+			elapsed := n.e.k.Now() - n.fireBase - n.e.cfg.DIFS
+			if elapsed > 0 {
+				consumed := int(elapsed / n.e.cfg.SlotTime)
+				if consumed > n.counter {
+					consumed = n.counter
+				}
+				n.counter -= consumed
+			}
+			n.fireEv.Cancel()
+			n.fireEv = nil
+		}
+		return
+	}
+	n.tryScheduleFire()
+}
+
+// fire transmits the pending data frame.
+func (n *node) fire() {
+	n.fireEv = nil
+	if n.st != stBackoff || n.pending == nil {
+		return
+	}
+	// Abort only if the medium turned busy before this instant; a busy
+	// transition at the fire instant itself is inside the turnaround window.
+	if n.e.medium.Busy(n.id) && n.busySince != n.e.k.Now() {
+		return
+	}
+	p := n.pending
+	n.st = stTx
+	dur := n.e.dataAirtime(p.Bytes)
+	n.e.medium.Transmit(n.id, &phy.Frame{
+		Kind: phy.Data, Dst: p.Link.Receiver, Bytes: p.Bytes,
+		Rate: n.e.cfg.Rate, Duration: dur, Payload: p,
+	})
+	n.e.k.After(dur, func() {
+		if n.st == stTx {
+			n.st = stWaitAck
+			timeout := n.e.cfg.SIFS + n.e.ackAirtime() + 2*n.e.cfg.SlotTime
+			n.timeoutEv = n.e.k.After(timeout, n.ackTimeout)
+		}
+	})
+}
+
+// FrameReceived implements phy.Listener.
+func (n *node) FrameReceived(f *phy.Frame, ok bool, _ *phy.SignatureDetection) {
+	if !ok {
+		return
+	}
+	if f.Dst != n.id {
+		// Overheard data frame: reserve the medium through its ACK, or for
+		// the frame's explicit NAV (e.g. DOMINO protecting its CFP).
+		if f.Kind == phy.Data {
+			until := n.e.k.Now() + n.e.cfg.SIFS + n.e.ackAirtime()
+			if f.NAV > until {
+				until = f.NAV
+			}
+			n.setNAV(until)
+			if n.fireEv != nil && n.fireEv.At() > n.e.k.Now() {
+				n.fireEv.Cancel()
+				n.fireEv = nil
+			}
+		}
+		return
+	}
+	switch f.Kind {
+	case phy.Data:
+		n.sendAck(f)
+	case phy.Ack:
+		n.onAck(f)
+	}
+}
+
+// sendAck responds to a correctly received data frame after SIFS.
+func (n *node) sendAck(f *phy.Frame) {
+	p := f.Payload.(*mac.Packet)
+	n.e.k.After(n.e.cfg.SIFS, func() {
+		if n.e.medium.Transmitting(n.id) {
+			return // half-duplex: cannot ACK while transmitting
+		}
+		// Sending the ACK pre-empts a pending backoff fire; contention
+		// resumes when the channel next goes idle (the ACK itself keeps
+		// neighbours deferring meanwhile).
+		if n.fireEv != nil {
+			n.fireEv.Cancel()
+			n.fireEv = nil
+		}
+		dur := n.e.ackAirtime()
+		n.e.medium.Transmit(n.id, &phy.Frame{
+			Kind: phy.Ack, Dst: f.Src, Bytes: phy.AckBytes,
+			Rate: n.e.cfg.AckRate, Duration: dur, Payload: p,
+		})
+		n.e.k.After(dur, func() { n.tryScheduleFire() })
+	})
+}
+
+// onAck completes the pending transmission.
+func (n *node) onAck(f *phy.Frame) {
+	if n.st != stWaitAck || n.pending == nil {
+		return
+	}
+	if f.Payload.(*mac.Packet) != n.pending {
+		return
+	}
+	if n.timeoutEv != nil {
+		n.timeoutEv.Cancel()
+		n.timeoutEv = nil
+	}
+	p := n.pending
+	n.pending = nil
+	n.cw = n.e.cfg.CWMin
+	n.st = stIdle
+	n.e.events.Delivered(p, n.e.k.Now())
+	n.serveNext()
+}
+
+// ackTimeout retries or drops the pending packet.
+func (n *node) ackTimeout() {
+	n.timeoutEv = nil
+	if n.st != stWaitAck || n.pending == nil {
+		return
+	}
+	n.e.AckTimeouts++
+	n.pending.Retries++
+	if n.pending.Retries > mac.RetryLimit {
+		p := n.pending
+		n.pending = nil
+		n.cw = n.e.cfg.CWMin
+		n.e.Drops++
+		n.e.events.Dropped(p, n.e.k.Now())
+		n.st = stIdle
+		n.serveNext()
+		return
+	}
+	if n.cw < n.e.cfg.CWMax {
+		n.cw = 2*n.cw + 1
+		if n.cw > n.e.cfg.CWMax {
+			n.cw = n.e.cfg.CWMax
+		}
+	}
+	n.startContention()
+}

@@ -1,0 +1,311 @@
+package domino
+
+import (
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+type rig struct {
+	k      *sim.Kernel
+	medium *phy.Medium
+	engine *Engine
+	coll   *stats.Collector
+	links  []*topo.Link
+}
+
+func newRig(t *testing.T, net *topo.Network, down, up bool, seed int64, mut func(*Config)) *rig {
+	t.Helper()
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	links := net.BuildLinks(down, up)
+	g := topo.NewConflictGraph(net, links, phy.DefaultConfig(), phy.Rate12)
+	k := sim.New(seed)
+	medium := phy.NewMedium(k, net.RSS, phy.DefaultConfig())
+	hub := &mac.Hub{}
+	cfg := DefaultConfig()
+	if mut != nil {
+		mut(&cfg)
+	}
+	engine := New(k, medium, g, hub, cfg)
+	coll := stats.NewCollector(len(links), 0)
+	hub.Add(coll)
+	return &rig{k: k, medium: medium, engine: engine, coll: coll, links: links}
+}
+
+func (r *rig) saturate(hubAdd func(mac.Events), linkIDs ...int) {
+	for _, id := range linkIDs {
+		s := traffic.NewSaturated(r.k, r.engine, r.links[id], 512, 8)
+		hubAdd(s)
+		s.Start()
+	}
+}
+
+func saturatedRig(t *testing.T, net *topo.Network, down, up bool, seed int64) *rig {
+	t.Helper()
+	links := net.BuildLinks(down, up)
+	_ = links
+	r := newRig(t, net, down, up, seed, nil)
+	hub := &mac.Hub{}
+	// rebuild hub wiring: we need the saturated sources in the SAME hub the
+	// engine reports to. newRig already wired coll; recreate properly here.
+	_ = hub
+	return r
+}
+
+// fullRig wires everything: engine, collector and saturated sources on all
+// links.
+func fullRig(t *testing.T, net *topo.Network, down, up bool, seed int64, mut func(*Config)) *rig {
+	t.Helper()
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	links := net.BuildLinks(down, up)
+	g := topo.NewConflictGraph(net, links, phy.DefaultConfig(), phy.Rate12)
+	k := sim.New(seed)
+	medium := phy.NewMedium(k, net.RSS, phy.DefaultConfig())
+	hub := &mac.Hub{}
+	cfg := DefaultConfig()
+	if mut != nil {
+		mut(&cfg)
+	}
+	engine := New(k, medium, g, hub, cfg)
+	coll := stats.NewCollector(len(links), 0)
+	hub.Add(coll)
+	for _, l := range links {
+		s := traffic.NewSaturated(k, engine, l, 512, 8)
+		hub.Add(s)
+		s.Start()
+	}
+	engine.Start()
+	return &rig{k: k, medium: medium, engine: engine, coll: coll, links: links}
+}
+
+func TestSinglePairDownlinkThroughput(t *testing.T) {
+	net := topo.TwoPairs(topo.ExposedTerminals)
+	// Only pair 1's downlink carries traffic; pair 2 idles (fake chain).
+	r := fullRig(t, net, true, false, 1, nil)
+	r.k.RunUntil(2 * sim.Second)
+	got := r.coll.ThroughputMbps(0, 2*sim.Second)
+	// Slot = 364+10+32+9+12.7 = 427.7 µs -> 9.58 Mbps upper bound, minus
+	// one ROP slot per 12-slot batch.
+	if got < 8.5 || got > 9.7 {
+		t.Errorf("DOMINO single-link throughput = %.2f Mbps, want ≈9.2-9.5", got)
+	}
+	if r.engine.DataSends == 0 || r.engine.Polls == 0 {
+		t.Errorf("sends=%d polls=%d", r.engine.DataSends, r.engine.Polls)
+	}
+}
+
+func TestExposedPairConcurrent(t *testing.T) {
+	// DOMINO schedules exposed links in the same slot: aggregate ≈ 2× the
+	// single-link rate — the win DCF cannot realise.
+	r := fullRig(t, topo.TwoPairs(topo.ExposedTerminals), true, false, 2, nil)
+	r.k.RunUntil(2 * sim.Second)
+	a := r.coll.ThroughputMbps(0, 2*sim.Second)
+	b := r.coll.ThroughputMbps(1, 2*sim.Second)
+	if a+b < 17 {
+		t.Errorf("exposed pair aggregate = %.2f Mbps, want ≈19 (concurrent slots)", a+b)
+	}
+	if f := stats.JainIndex([]float64{a, b}); f < 0.99 {
+		t.Errorf("fairness = %.3f", f)
+	}
+}
+
+func TestHiddenPairAlternates(t *testing.T) {
+	// Hidden links alternate cleanly: ≈ half rate each, no collisions —
+	// where DCF collapses.
+	r := fullRig(t, topo.TwoPairs(topo.HiddenTerminals), true, false, 3, nil)
+	r.k.RunUntil(2 * sim.Second)
+	a := r.coll.ThroughputMbps(0, 2*sim.Second)
+	b := r.coll.ThroughputMbps(1, 2*sim.Second)
+	if a+b < 8.3 {
+		t.Errorf("hidden pair aggregate = %.2f Mbps, want ≈9.3", a+b)
+	}
+	if f := stats.JainIndex([]float64{a, b}); f < 0.98 {
+		t.Errorf("fairness = %.3f (a=%.2f b=%.2f)", f, a, b)
+	}
+	if r.engine.AckMisses > r.engine.DataSends/20 {
+		t.Errorf("ack misses %d out of %d sends: schedule should avoid collisions",
+			r.engine.AckMisses, r.engine.DataSends)
+	}
+}
+
+func TestUplinkViaPolling(t *testing.T) {
+	// Saturated uplink only: the server learns backlog through ROP and
+	// schedules the clients; triggers reach clients through their APs.
+	r := fullRig(t, topo.TwoPairs(topo.ExposedTerminals), false, true, 4, nil)
+	r.k.RunUntil(2 * sim.Second)
+	a := r.coll.ThroughputMbps(0, 2*sim.Second)
+	b := r.coll.ThroughputMbps(1, 2*sim.Second)
+	if a+b < 15 {
+		t.Errorf("uplink aggregate = %.2f Mbps (a=%.2f b=%.2f); polling failed?", a+b, a, b)
+	}
+	if r.engine.Polls < 100 {
+		t.Errorf("polls = %d, want one per batch per AP", r.engine.Polls)
+	}
+}
+
+func TestFigure1MatchesOmniscientShape(t *testing.T) {
+	// The headline Fig 2 claim: DOMINO performs close to the omniscient
+	// scheme — C2→AP2 every slot, AP1/AP3 alternating.
+	net := topo.Figure1()
+	links := topo.Figure1Links(net)
+	g := topo.NewConflictGraph(net, links, phy.DefaultConfig(), phy.Rate12)
+	k := sim.New(5)
+	medium := phy.NewMedium(k, net.RSS, phy.DefaultConfig())
+	hub := &mac.Hub{}
+	engine := New(k, medium, g, hub, DefaultConfig())
+	coll := stats.NewCollector(len(links), 0)
+	hub.Add(coll)
+	for _, l := range links {
+		s := traffic.NewSaturated(k, engine, l, 512, 8)
+		hub.Add(s)
+		s.Start()
+	}
+	engine.Start()
+	k.RunUntil(4 * sim.Second)
+	end := 4 * sim.Second
+	ap1 := coll.ThroughputMbps(0, end)
+	c2 := coll.ThroughputMbps(1, end)
+	ap3 := coll.ThroughputMbps(2, end)
+	t.Logf("Fig1 DOMINO: AP1→C1 %.2f, C2→AP2 %.2f, AP3→C3 %.2f Mbps", ap1, c2, ap3)
+	if c2 < 7.5 {
+		t.Errorf("C2→AP2 = %.2f Mbps, want near-full rate", c2)
+	}
+	if ap1 < 3.6 || ap3 < 3.6 {
+		t.Errorf("alternating links AP1=%.2f AP3=%.2f, want ≈4.5 each", ap1, ap3)
+	}
+	if total := ap1 + c2 + ap3; total < 15 {
+		t.Errorf("aggregate %.2f, want ≥15 (omniscient ≈19)", total)
+	}
+}
+
+func TestMisalignmentHeals(t *testing.T) {
+	// Fig 11: initial wired-jitter misalignment collapses within ~4 slots.
+	net := topo.Figure7()
+	r := fullRig(t, net, true, true, 6, func(c *Config) {
+		c.MisalignSlots = 8
+		c.WiredLatencyStd = sim.Micros(40)
+	})
+	r.k.RunUntil(500 * sim.Millisecond)
+	first := r.engine.Misalign.Max(0)
+	if first == 0 {
+		t.Fatal("no initial misalignment observed; probe broken?")
+	}
+	settled := r.engine.Misalign.Max(6)
+	if settled > first/2 && settled > 3*sim.Microsecond {
+		t.Errorf("misalignment did not heal: slot0=%v slot6=%v", first, settled)
+	}
+	t.Logf("misalignment: slot0=%v slot3=%v slot6=%v",
+		r.engine.Misalign.Max(0), r.engine.Misalign.Max(3), r.engine.Misalign.Max(6))
+}
+
+func TestFigure7FullDuplexLoad(t *testing.T) {
+	// All eight links saturated (the Fig 10 microscope setting): the engine
+	// sustains the chains, polls every batch, and spreads throughput across
+	// pairs.
+	r := fullRig(t, topo.Figure7(), true, true, 7, nil)
+	r.k.RunUntil(3 * sim.Second)
+	total := r.coll.AggregateMbps(3 * sim.Second)
+	if total < 12 {
+		t.Errorf("Fig7 aggregate = %.2f Mbps; chains dying?", total)
+	}
+	// Every link must see service (no starvation).
+	for _, l := range r.links {
+		if r.coll.ThroughputMbps(l.ID, 3*sim.Second) < 0.4 {
+			t.Errorf("link %v starved: %.2f Mbps", l, r.coll.ThroughputMbps(l.ID, 3*sim.Second))
+		}
+	}
+	if f := r.coll.Fairness(3 * sim.Second); f < 0.7 {
+		t.Errorf("fairness = %.3f", f)
+	}
+}
+
+func TestTraceEventsEmitted(t *testing.T) {
+	net := topo.TwoPairs(topo.ExposedTerminals)
+	links := net.BuildLinks(true, false)
+	g := topo.NewConflictGraph(net, links, phy.DefaultConfig(), phy.Rate12)
+	k := sim.New(8)
+	medium := phy.NewMedium(k, net.RSS, phy.DefaultConfig())
+	engine := New(k, medium, g, nil, DefaultConfig())
+	kinds := map[string]int{}
+	engine.Trace = func(ev TraceEvent) { kinds[ev.Kind]++ }
+	for i := 0; i < 10; i++ {
+		engine.Enqueue(&mac.Packet{Link: links[0], Bytes: 512})
+	}
+	engine.Start()
+	k.RunUntil(100 * sim.Millisecond)
+	for _, want := range []string{"data", "fake", "bcast", "trigger", "poll", "ack", "selfstart"} {
+		if kinds[want] == 0 {
+			t.Errorf("no %q trace events (got %v)", want, kinds)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) (float64, int, int) {
+		r := fullRig(nilT(t), topo.Figure7(), true, true, seed, nil)
+		r.k.RunUntil(sim.Second)
+		return r.coll.AggregateMbps(sim.Second), r.engine.DataSends, r.engine.FakeSends
+	}
+	a1, d1, f1 := run(99)
+	a2, d2, f2 := run(99)
+	if a1 != a2 || d1 != d2 || f1 != f2 {
+		t.Errorf("same seed diverged: (%v,%d,%d) vs (%v,%d,%d)", a1, d1, f1, a2, d2, f2)
+	}
+}
+
+func nilT(t *testing.T) *testing.T { return t }
+
+func TestIdleNetworkKeepsChainsAlive(t *testing.T) {
+	// With zero traffic the fake cover keeps triggers and polls flowing; no
+	// deadlock, bounded self-starts.
+	r := fullRigIdle(t, topo.TwoPairs(topo.ExposedTerminals), 10)
+	r.k.RunUntil(sim.Second)
+	if r.engine.FakeSends < 1000 {
+		t.Errorf("fake sends = %d; chain appears dead", r.engine.FakeSends)
+	}
+	if r.engine.Polls < 100 {
+		t.Errorf("polls = %d", r.engine.Polls)
+	}
+	if r.engine.SelfStarts > 50 {
+		t.Errorf("self-starts = %d; chain unhealthy", r.engine.SelfStarts)
+	}
+}
+
+func fullRigIdle(t *testing.T, net *topo.Network, seed int64) *rig {
+	t.Helper()
+	links := net.BuildLinks(true, true)
+	g := topo.NewConflictGraph(net, links, phy.DefaultConfig(), phy.Rate12)
+	k := sim.New(seed)
+	medium := phy.NewMedium(k, net.RSS, phy.DefaultConfig())
+	engine := New(k, medium, g, nil, DefaultConfig())
+	engine.Start()
+	return &rig{k: k, medium: medium, engine: engine, links: links}
+}
+
+func BenchmarkDominoSecond(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net := topo.Figure7()
+		links := net.BuildLinks(true, true)
+		g := topo.NewConflictGraph(net, links, phy.DefaultConfig(), phy.Rate12)
+		k := sim.New(int64(i))
+		medium := phy.NewMedium(k, net.RSS, phy.DefaultConfig())
+		hub := &mac.Hub{}
+		engine := New(k, medium, g, hub, DefaultConfig())
+		for _, l := range links {
+			s := traffic.NewSaturated(k, engine, l, 512, 8)
+			hub.Add(s)
+			s.Start()
+		}
+		engine.Start()
+		k.RunUntil(sim.Second)
+	}
+}

@@ -1,0 +1,51 @@
+package domino
+
+import (
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// TestFalsePositiveRobustness injects a pessimistic 2% correlator
+// false-positive rate: spurious triggers fire, but slot-indexed duty
+// matching keeps the damage marginal (the paper measured <1% FP and relies
+// on the same robustness).
+func TestFalsePositiveRobustness(t *testing.T) {
+	run := func(fp float64) (float64, int) {
+		net := topo.Figure7()
+		links := net.BuildLinks(true, true)
+		pcfg := phy.DefaultConfig()
+		pcfg.FalsePositiveRate = fp
+		g := topo.NewConflictGraph(net, links, pcfg, phy.Rate12)
+		k := sim.New(17)
+		medium := phy.NewMedium(k, net.RSS, pcfg)
+		hub := &mac.Hub{}
+		engine := New(k, medium, g, hub, DefaultConfig())
+		coll := stats.NewCollector(len(links), 0)
+		hub.Add(coll)
+		for _, l := range links {
+			s := traffic.NewSaturated(k, engine, l, 512, 8)
+			hub.Add(s)
+			s.Start()
+		}
+		engine.Start()
+		k.RunUntil(2 * sim.Second)
+		return coll.AggregateMbps(2 * sim.Second), engine.FalseTriggers
+	}
+	clean, fp0 := run(0)
+	noisy, fpN := run(0.02)
+	if fp0 != 0 {
+		t.Errorf("false triggers with rate 0: %d", fp0)
+	}
+	if fpN == 0 {
+		t.Error("no false triggers at 2% rate")
+	}
+	if noisy < clean*0.9 {
+		t.Errorf("2%% false positives cost too much: %.2f vs %.2f Mbps", noisy, clean)
+	}
+}

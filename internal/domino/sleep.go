@@ -1,0 +1,41 @@
+package domino
+
+import (
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// Sleep powers a client down for the given duration (§5 "Energy saving": the
+// server schedules an energy-constrained device to sleep for a window in
+// which it neither sends nor receives). While asleep the client's radio is
+// deaf — triggers, polls and downlink data addressed to it are lost — and the
+// central server excludes the client's links from scheduling so the air time
+// is not wasted. The client resumes on its own at the deadline; the trigger
+// chain re-integrates it exactly like a node whose triggers were lost.
+//
+// Sleeping an AP is not supported (the paper only sleeps client devices).
+func (e *Engine) Sleep(client phy.NodeID, d sim.Time) {
+	c, ok := e.clients[client]
+	if !ok {
+		panic("domino: Sleep on a non-client node")
+	}
+	c.asleep = true
+	e.server.sleeping[client] = true
+	e.k.After(d, func() {
+		c.asleep = false
+		delete(e.server.sleeping, client)
+	})
+}
+
+// Asleep reports whether the client is currently sleeping.
+func (e *Engine) Asleep(client phy.NodeID) bool {
+	c, ok := e.clients[client]
+	return ok && c.asleep
+}
+
+// linkSchedulable reports whether a link may be scheduled now (endpoints
+// awake).
+func (s *server) linkSchedulable(id int) bool {
+	l := s.e.g.Links[id]
+	return !s.sleeping[l.Sender] && !s.sleeping[l.Receiver]
+}

@@ -1,0 +1,79 @@
+package domino
+
+import (
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+func TestSleepExcludesClient(t *testing.T) {
+	net := topo.TwoPairs(topo.ExposedTerminals)
+	links := net.BuildLinks(true, true)
+	g := topo.NewConflictGraph(net, links, phy.DefaultConfig(), phy.Rate12)
+	k := sim.New(11)
+	medium := phy.NewMedium(k, net.RSS, phy.DefaultConfig())
+	hub := &mac.Hub{}
+	engine := New(k, medium, g, hub, DefaultConfig())
+	coll := stats.NewCollector(len(links), 0)
+	hub.Add(coll)
+	for _, l := range links {
+		s := traffic.NewSaturated(k, engine, l, 512, 8)
+		hub.Add(s)
+		s.Start()
+	}
+	engine.Start()
+	// Sleep client 1 (pair 0) for the middle second of a 3 s run.
+	k.At(sim.Second, func() { engine.Sleep(1, sim.Second) })
+	k.RunUntil(sim.Second)
+	mid := map[int]int{}
+	for _, l := range links {
+		mid[l.ID] = coll.Link(l.ID).DeliveredPkts
+	}
+	if !func() bool { k.RunUntil(sim.Second + sim.Millisecond); return engine.Asleep(1) }() {
+		t.Fatal("client 1 not asleep")
+	}
+	k.RunUntil(2 * sim.Second)
+	sleepDelta := map[int]int{}
+	for _, l := range links {
+		sleepDelta[l.ID] = coll.Link(l.ID).DeliveredPkts - mid[l.ID]
+	}
+	k.RunUntil(3 * sim.Second)
+	if engine.Asleep(1) {
+		t.Fatal("client 1 never woke")
+	}
+	// Links touching client 1 (IDs 0: AP0→C1 and 1: C1→AP0) must be ~silent
+	// during the sleep window; the other pair keeps working.
+	if sleepDelta[0] > 10 || sleepDelta[1] > 10 {
+		t.Errorf("sleeping client still served: down=%d up=%d", sleepDelta[0], sleepDelta[1])
+	}
+	if sleepDelta[2] < 500 || sleepDelta[3] < 500 {
+		t.Errorf("awake pair starved during neighbour's sleep: %d/%d", sleepDelta[2], sleepDelta[3])
+	}
+	// After waking, the pair-0 links resume.
+	for _, id := range []int{0, 1} {
+		resumed := coll.Link(id).DeliveredPkts - mid[id] - sleepDelta[id]
+		if resumed < 300 {
+			t.Errorf("link %d did not resume after wake: %d", id, resumed)
+		}
+	}
+}
+
+func TestSleepAPPanics(t *testing.T) {
+	net := topo.TwoPairs(topo.ExposedTerminals)
+	links := net.BuildLinks(true, false)
+	g := topo.NewConflictGraph(net, links, phy.DefaultConfig(), phy.Rate12)
+	k := sim.New(1)
+	medium := phy.NewMedium(k, net.RSS, phy.DefaultConfig())
+	engine := New(k, medium, g, nil, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("sleeping an AP did not panic")
+		}
+	}()
+	engine.Sleep(0, sim.Second)
+}

@@ -1,0 +1,38 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCoexistShape(t *testing.T) {
+	o := small()
+	r := Coexist(o)
+	// With no CoP, DOMINO's NAV-protected chain starves the external pair.
+	if r.ExternalMbps[0] > 1.0 {
+		t.Errorf("external pair got %.2f Mbps with zero CoP; NAV should starve it", r.ExternalMbps[0])
+	}
+	if r.DominoMbps[0] < 7 {
+		t.Errorf("DOMINO only %.2f Mbps with the whole channel", r.DominoMbps[0])
+	}
+	// Growing the CoP hands the external pair a growing share and costs
+	// DOMINO throughput.
+	last := len(r.CoPMs) - 1
+	if r.ExternalMbps[last] < 1.5 {
+		t.Errorf("external pair got %.2f Mbps with a %v ms CoP", r.ExternalMbps[last], r.CoPMs[last])
+	}
+	if r.DominoMbps[last] >= r.DominoMbps[0] {
+		t.Errorf("DOMINO did not pay for the CoP: %.2f vs %.2f", r.DominoMbps[last], r.DominoMbps[0])
+	}
+	for i := 1; i <= last; i++ {
+		if r.ExternalMbps[i] < r.ExternalMbps[i-1]-0.5 {
+			t.Errorf("external share not growing with CoP: %v", r.ExternalMbps)
+		}
+	}
+	var b bytes.Buffer
+	r.Print(&b)
+	if !strings.Contains(b.String(), "external") {
+		t.Error("print malformed")
+	}
+}

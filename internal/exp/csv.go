@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV renders experiment results as machine-readable series for external
+// plotting. Each writer emits rows of (series, x, y).
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// CSV writes the Fig 6 sweep as (guards, rss_diff_db, decode_ratio).
+func (r Fig6Result) CSV(w io.Writer) error {
+	var rows [][]string
+	for g := 0; g <= 4; g++ {
+		for i, d := range r.DiffsDB {
+			rows = append(rows, []string{strconv.Itoa(g), f(d), f(r.Ratio[g][i])})
+		}
+	}
+	return writeCSV(w, []string{"guards", "rss_diff_db", "decode_ratio"}, rows)
+}
+
+// CSV writes the Fig 9 curves as (setup, combined, detection_ratio).
+func (r Fig9Result) CSV(w io.Writer) error {
+	var rows [][]string
+	for i, row := range r.Detected {
+		setup := fmt.Sprintf("%ds-%d", r.Setups[i].Senders, int(r.Setups[i].Mode))
+		for j, v := range row {
+			if v < 0 {
+				continue
+			}
+			rows = append(rows, []string{setup, strconv.Itoa(r.Combined[j]), f(v)})
+		}
+	}
+	return writeCSV(w, []string{"setup", "combined", "detection_ratio"}, rows)
+}
+
+// CSV writes the Fig 11 series as (jitter_std_us, slot, misalign_us).
+func (r Fig11Result) CSV(w io.Writer) error {
+	var rows [][]string
+	for i, std := range r.StdsUs {
+		for j, slot := range r.Slots {
+			rows = append(rows, []string{f(std), strconv.Itoa(slot), f(r.MaxUs[i][j])})
+		}
+	}
+	return writeCSV(w, []string{"jitter_std_us", "slot", "misalign_us"}, rows)
+}
+
+// CSV writes one Fig 12 panel set as
+// (scheme, uplink_mbps, throughput_mbps, delay_us, fairness).
+func (r Fig12Result) CSV(w io.Writer) error {
+	var rows [][]string
+	for i, s := range r.Schemes {
+		for j, up := range r.UpMbps {
+			rows = append(rows, []string{
+				s.String(), f(up),
+				f(r.ThroughputMbps[i][j]), f(r.DelayUs[i][j]), f(r.Fairness[i][j]),
+			})
+		}
+	}
+	return writeCSV(w, []string{"scheme", "uplink_mbps", "throughput_mbps", "delay_us", "fairness"}, rows)
+}
+
+// CSV writes the gain CDF as (gain, cdf).
+func (r Fig14Result) CSV(w io.Writer) error {
+	xs, fs := r.Gains.Points()
+	var rows [][]string
+	for i := range xs {
+		rows = append(rows, []string{f(xs[i]), f(fs[i])})
+	}
+	return writeCSV(w, []string{"gain", "cdf"}, rows)
+}
+
+// CSV writes the coexistence sweep as (cop_ms, domino_mbps, external_mbps).
+func (r CoexistResult) CSV(w io.Writer) error {
+	var rows [][]string
+	for i, c := range r.CoPMs {
+		rows = append(rows, []string{f(c), f(r.DominoMbps[i]), f(r.ExternalMbps[i])})
+	}
+	return writeCSV(w, []string{"cop_ms", "domino_mbps", "external_mbps"}, rows)
+}

@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestCSVWriters(t *testing.T) {
+	o := small()
+	o.Trials = 30
+	o.Duration = sim.Second
+
+	var b bytes.Buffer
+	if err := Fig6(o).CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "guards,rss_diff_db,decode_ratio\n") {
+		t.Errorf("fig6 header wrong: %q", strings.SplitN(b.String(), "\n", 2)[0])
+	}
+	if lines := strings.Count(b.String(), "\n"); lines != 1+5*8 {
+		t.Errorf("fig6 rows = %d", lines)
+	}
+
+	b.Reset()
+	if err := Fig9(o).CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "setup,combined,detection_ratio") {
+		t.Error("fig9 header missing")
+	}
+
+	b.Reset()
+	if err := Fig11(o).CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(b.String(), "\n"); lines != 1+4*6 {
+		t.Errorf("fig11 rows = %d", lines)
+	}
+
+	b.Reset()
+	r12 := Fig12(Options{Seed: 1, Duration: sim.Second, Warmup: 200 * sim.Millisecond}, core.UDPCBR)
+	if err := r12.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(b.String(), "\n"); lines != 1+3*6 {
+		t.Errorf("fig12 rows = %d", lines)
+	}
+	if !strings.Contains(b.String(), "DOMINO") {
+		t.Error("fig12 missing scheme names")
+	}
+
+	b.Reset()
+	o14 := small()
+	o14.Runs = 2
+	o14.Duration = sim.Second
+	if err := Fig14(o14).CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "gain,cdf\n") {
+		t.Error("fig14 header wrong")
+	}
+
+	b.Reset()
+	oc := small()
+	oc.Duration = sim.Second
+	if err := Coexist(oc).CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(b.String(), "\n"); lines != 1+4 {
+		t.Errorf("coexist rows = %d", lines)
+	}
+}

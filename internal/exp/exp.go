@@ -1,0 +1,89 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation, each returning structured results and able to print the same
+// rows/series the paper reports. The cmd/experiments binary and the
+// repository's benchmarks are thin wrappers around these drivers.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Options scales an experiment: the full paper settings are slow (50 s runs,
+// 50 repetitions); tests and benchmarks shrink them.
+type Options struct {
+	Seed     int64
+	Duration sim.Time
+	Warmup   sim.Time
+	// Runs is the repetition count for Monte-Carlo experiments (Fig 14).
+	Runs int
+	// Trials is the per-point trial count for PHY Monte Carlos (Figs 6, 9).
+	Trials int
+}
+
+// Paper returns the evaluation-scale options (50 s runs as in §4.2.1).
+func Paper() Options {
+	return Options{Seed: 1, Duration: 50 * sim.Second, Warmup: sim.Second, Runs: 50, Trials: 1000}
+}
+
+// Quick returns options sized for interactive runs and tests.
+func Quick() Options {
+	return Options{Seed: 1, Duration: 4 * sim.Second, Warmup: 500 * sim.Millisecond, Runs: 8, Trials: 150}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Duration == 0 {
+		o.Duration = 4 * sim.Second
+	}
+	if o.Runs == 0 {
+		o.Runs = 8
+	}
+	if o.Trials == 0 {
+		o.Trials = 150
+	}
+	return o
+}
+
+// T10x2 builds the paper's default simulation topology: T(10, 2) selected
+// from the 40-node two-building campus trace (§4.2.1).
+func T10x2(seed int64) *topo.Network {
+	tr := topo.CampusTrace(seed)
+	rng := rand.New(rand.NewSource(seed))
+	net, err := topo.BuildT(tr, 10, 2, phy.DefaultConfig(), phy.Rate12, rng)
+	if err != nil {
+		panic(fmt.Sprintf("exp: T(10,2) infeasible on campus trace seed %d: %v", seed, err))
+	}
+	return net
+}
+
+// hline prints a separator sized to the header.
+func hline(w io.Writer, n int) {
+	for i := 0; i < n; i++ {
+		fmt.Fprint(w, "-")
+	}
+	fmt.Fprintln(w)
+}
+
+// runScheme is the shared single-run helper.
+func runScheme(net *topo.Network, scheme core.Scheme, o Options, mut func(*core.Scenario)) core.Result {
+	sc := core.Scenario{
+		Net:      net,
+		Downlink: true,
+		Uplink:   true,
+		Scheme:   scheme,
+		Seed:     o.Seed,
+		Duration: o.Duration,
+		Warmup:   o.Warmup,
+		Traffic:  core.Saturated,
+	}
+	if mut != nil {
+		mut(&sc)
+	}
+	return core.Run(sc)
+}

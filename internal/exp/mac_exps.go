@@ -1,0 +1,270 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dcf"
+	"repro/internal/domino"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Fig2Result is the motivating comparison on the Fig 1 network.
+type Fig2Result struct {
+	Schemes   []core.Scheme
+	LinkNames []string
+	// PerLink[scheme][link] in Mbps; Overall[scheme] aggregates.
+	PerLink map[core.Scheme][]float64
+	Overall map[core.Scheme]float64
+}
+
+// Fig2 runs all four schemes on the Fig 1 network with the three saturated
+// flows (AP1→C1, C2→AP2, AP3→C3).
+func Fig2(o Options) Fig2Result {
+	o = o.withDefaults()
+	res := Fig2Result{
+		Schemes:   []core.Scheme{core.DCF, core.CENTAUR, core.DOMINO, core.Omniscient},
+		LinkNames: []string{"AP1→C1", "C2→AP2", "AP3→C3"},
+		PerLink:   map[core.Scheme][]float64{},
+		Overall:   map[core.Scheme]float64{},
+	}
+	for _, s := range res.Schemes {
+		net := topo.Figure1()
+		links := topo.Figure1Links(net)
+		r := core.Run(core.Scenario{
+			Net: net, Links: links, Scheme: s, Seed: o.Seed,
+			Duration: o.Duration, Warmup: o.Warmup, Traffic: core.Saturated,
+		})
+		res.PerLink[s] = r.PerLinkMbps
+		res.Overall[s] = r.AggregateMbps
+	}
+	return res
+}
+
+// Print renders the Fig 2 bars as a table.
+func (r Fig2Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Fig 2: throughput (Mbps) on the Fig 1 network")
+	hline(w, 58)
+	fmt.Fprintf(w, "%-12s", "scheme")
+	for _, n := range r.LinkNames {
+		fmt.Fprintf(w, "%9s", n)
+	}
+	fmt.Fprintf(w, "%9s\n", "overall")
+	for _, s := range r.Schemes {
+		fmt.Fprintf(w, "%-12s", s)
+		for _, v := range r.PerLink[s] {
+			fmt.Fprintf(w, "%9.2f", v)
+		}
+		fmt.Fprintf(w, "%9.2f\n", r.Overall[s])
+	}
+}
+
+// Table2Result: the USRP prototype comparison (aggregate throughput in the
+// three placements).
+type Table2Result struct {
+	Scenarios []topo.TwoPairScenario
+	// Mbps[scheme][scenario].
+	Domino []float64
+	DCF    []float64
+}
+
+// Table2 reproduces the USRP prototype experiment: two AP-client pairs in
+// same-contention, hidden and exposed placements, DOMINO vs DCF. The USRP
+// PHY is modelled by inflating per-frame processing time (GNURadio host
+// latency) and slowing the contention slots; absolute rates are therefore
+// arbitrary — the ratios carry the result.
+func Table2(o Options) Table2Result {
+	o = o.withDefaults()
+	// USRP-like parameters: ~25 ms of host latency around every frame and
+	// ~1 ms effective slots. Rates come out in the tens of Kbps as in the
+	// paper.
+	const hostLatency = 25 * sim.Millisecond
+	res := Table2Result{
+		Scenarios: []topo.TwoPairScenario{topo.SameContention, topo.HiddenTerminals, topo.ExposedTerminals},
+	}
+	for _, sc := range res.Scenarios {
+		net := topo.TwoPairs(sc)
+		d := core.Run(core.Scenario{
+			Net: net, Downlink: true, Scheme: core.DCF, Seed: o.Seed,
+			Duration: o.Duration * 10, Warmup: o.Warmup, Traffic: core.Saturated,
+			TuneDCF: func(c *dcf.Config) {
+				c.ExtraFrameTime = hostLatency
+				c.SlotTime = sim.Millisecond
+				c.SIFS = 2 * sim.Millisecond
+				c.DIFS = 4 * sim.Millisecond
+			},
+		})
+		m := core.Run(core.Scenario{
+			Net: net, Downlink: true, Scheme: core.DOMINO, Seed: o.Seed,
+			Duration: o.Duration * 10, Warmup: o.Warmup, Traffic: core.Saturated,
+			TuneDomino: func(c *domino.Config) {
+				c.ExtraFrameTime = hostLatency
+			},
+		})
+		res.DCF = append(res.DCF, d.AggregateMbps)
+		res.Domino = append(res.Domino, m.AggregateMbps)
+	}
+	return res
+}
+
+// Print renders Table 2 (Kbps, as in the paper).
+func (r Table2Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 2: aggregate throughput (Kbps), USRP-grade PHY")
+	hline(w, 46)
+	fmt.Fprintf(w, "%-10s", "scheme")
+	for _, sc := range r.Scenarios {
+		fmt.Fprintf(w, "%9s", sc)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-10s", "DOMINO")
+	for _, v := range r.Domino {
+		fmt.Fprintf(w, "%9.2f", v*1000)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-10s", "DCF")
+	for _, v := range r.DCF {
+		fmt.Fprintf(w, "%9.2f", v*1000)
+	}
+	fmt.Fprintln(w)
+	for i := range r.Scenarios {
+		if r.DCF[i] > 0 {
+			fmt.Fprintf(w, "%v gain: %.2fx  ", r.Scenarios[i], r.Domino[i]/r.DCF[i])
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// Table3Result: aggregate throughput on the Fig 13 exposed-link topologies.
+type Table3Result struct {
+	// Mbps[topology][scheme]: topologies {13a, 13b}, schemes
+	// {DOMINO, CENTAUR, DCF}.
+	Mbps [2][3]float64
+}
+
+// Table3 reproduces Table 3: CENTAUR collapses below DCF on Fig 13(b) while
+// DOMINO is unaffected.
+func Table3(o Options) Table3Result {
+	o = o.withDefaults()
+	var res Table3Result
+	nets := []*topo.Network{topo.Figure13a(), topo.Figure13b()}
+	schemes := []core.Scheme{core.DOMINO, core.CENTAUR, core.DCF}
+	for ti, netBuilder := range nets {
+		for si, s := range schemes {
+			r := core.Run(core.Scenario{
+				Net: clone(netBuilder, ti), Downlink: true, Scheme: s, Seed: o.Seed,
+				Duration: o.Duration, Warmup: o.Warmup, Traffic: core.Saturated,
+			})
+			res.Mbps[ti][si] = r.AggregateMbps
+		}
+	}
+	return res
+}
+
+// clone rebuilds a figure network (engines register listeners on the medium,
+// so each run needs a fresh Network value anyway; RSS matrices are shared
+// read-only).
+func clone(n *topo.Network, which int) *topo.Network {
+	if which == 0 {
+		return topo.Figure13a()
+	}
+	return topo.Figure13b()
+}
+
+// Print renders Table 3.
+func (r Table3Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 3: aggregate throughput (Mbps), 4 exposed-link topologies")
+	hline(w, 56)
+	fmt.Fprintf(w, "%-14s%10s%10s%10s\n", "topology", "DOMINO", "CENTAUR", "DCF")
+	names := []string{"Fig 13(a)", "Fig 13(b)"}
+	for ti, row := range r.Mbps {
+		fmt.Fprintf(w, "%-14s%10.2f%10.2f%10.2f\n", names[ti], row[0], row[1], row[2])
+	}
+}
+
+// Fig11Result: maximum transmission misalignment per slot index, per wired
+// jitter setting.
+type Fig11Result struct {
+	StdsUs []float64
+	Slots  []int
+	// MaxUs[stdIdx][slotIdx] in µs.
+	MaxUs [][]float64
+}
+
+// Fig11 varies the wired latency variance and records how the initial
+// misalignment converges within a few slots (paper Fig 11, on T(10,2)).
+func Fig11(o Options) Fig11Result {
+	o = o.withDefaults()
+	res := Fig11Result{StdsUs: []float64{20, 40, 60, 80}, Slots: []int{0, 1, 2, 3, 4, 5}}
+	for _, std := range res.StdsUs {
+		net := T10x2(o.Seed)
+		r := core.Run(core.Scenario{
+			Net: net, Downlink: true, Uplink: true, Scheme: core.DOMINO,
+			Seed: o.Seed, Duration: o.Duration, Traffic: core.Saturated,
+			MisalignSlots: len(res.Slots) + 2,
+			TuneDomino: func(c *domino.Config) {
+				c.WiredLatencyStd = sim.Micros(std)
+			},
+		})
+		var row []float64
+		for _, slot := range res.Slots {
+			row = append(row, r.Misalign.Max(slot).Microseconds())
+		}
+		res.MaxUs = append(res.MaxUs, row)
+	}
+	return res
+}
+
+// Print renders the Fig 11 series.
+func (r Fig11Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Fig 11: max TX misalignment (µs) at the start of the CFP, T(10,2)")
+	hline(w, 60)
+	fmt.Fprintf(w, "%-14s", "jitter σ (µs)")
+	for _, s := range r.Slots {
+		fmt.Fprintf(w, "  slot%-2d", s)
+	}
+	fmt.Fprintln(w)
+	for i, std := range r.StdsUs {
+		fmt.Fprintf(w, "%-14.0f", std)
+		for _, v := range r.MaxUs[i] {
+			fmt.Fprintf(w, "%8.1f", v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig10Event is one line of the microscope timeline.
+type Fig10Event = domino.TraceEvent
+
+// Fig10 runs the Fig 7 network with all flows saturated and returns the
+// engine trace of the first maxEvents events — the Fig 10 timeline.
+func Fig10(o Options, maxEvents int) []Fig10Event {
+	o = o.withDefaults()
+	var events []Fig10Event
+	net := topo.Figure7()
+	core.Run(core.Scenario{
+		Net: net, Downlink: true, Uplink: true, Scheme: core.DOMINO,
+		Seed: o.Seed, Duration: o.Duration, Traffic: core.Saturated,
+		Trace: func(ev domino.TraceEvent) {
+			if len(events) < maxEvents {
+				events = append(events, ev)
+			}
+		},
+	})
+	return events
+}
+
+// PrintFig10 renders the timeline.
+func PrintFig10(w io.Writer, events []Fig10Event) {
+	fmt.Fprintln(w, "Fig 10: DOMINO timeline on the Fig 7 network (excerpt)")
+	hline(w, 60)
+	for _, ev := range events {
+		link := ""
+		if ev.Link != nil {
+			link = ev.Link.String()
+		}
+		fmt.Fprintf(w, "%12v  slot %-4d %-10s node %-3d %s\n",
+			ev.At, ev.Slot, ev.Kind, ev.Node, link)
+	}
+}

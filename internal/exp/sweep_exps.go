@@ -1,0 +1,292 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/domino"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Fig12Result holds the uplink-rate sweep for one transport (UDP or TCP):
+// aggregate throughput, mean delay and Jain fairness per scheme per uplink
+// rate, with downlink fixed at 10 Mbps (paper Fig 12).
+type Fig12Result struct {
+	Transport string
+	UpMbps    []float64
+	Schemes   []core.Scheme
+	// Indexed [scheme][rate].
+	ThroughputMbps [][]float64
+	DelayUs        [][]float64
+	Fairness       [][]float64
+}
+
+// Fig12 sweeps the uplink offered load on T(10,2). transport is core.UDPCBR
+// or core.TCP.
+func Fig12(o Options, transport core.TrafficKind) Fig12Result {
+	o = o.withDefaults()
+	name := "UDP"
+	if transport == core.TCP {
+		name = "TCP"
+	}
+	res := Fig12Result{
+		Transport: name,
+		UpMbps:    []float64{0, 2, 4, 6, 8, 10},
+		Schemes:   []core.Scheme{core.DOMINO, core.CENTAUR, core.DCF},
+	}
+	for _, s := range res.Schemes {
+		var tput, delay, fair []float64
+		for _, up := range res.UpMbps {
+			net := T10x2(o.Seed)
+			r := core.Run(core.Scenario{
+				Net: net, Downlink: true, Uplink: true, Scheme: s,
+				Seed: o.Seed, Duration: o.Duration, Warmup: o.Warmup,
+				Traffic: transport, DownMbps: 10, UpMbps: up,
+			})
+			tput = append(tput, r.DataMbps)
+			delay = append(delay, r.MeanDelayPerLink.Microseconds())
+			fair = append(fair, r.Fairness)
+		}
+		res.ThroughputMbps = append(res.ThroughputMbps, tput)
+		res.DelayUs = append(res.DelayUs, delay)
+		res.Fairness = append(res.Fairness, fair)
+	}
+	return res
+}
+
+// Print renders the three panels of one Fig 12 row.
+func (r Fig12Result) Print(w io.Writer) {
+	panel := func(title, unit string, data [][]float64, scale float64, prec int) {
+		fmt.Fprintf(w, "Fig 12 %s %s (%s) vs uplink rate, T(10,2), downlink 10 Mbps\n",
+			r.Transport, title, unit)
+		hline(w, 64)
+		fmt.Fprintf(w, "%-10s", "uplink")
+		for _, u := range r.UpMbps {
+			fmt.Fprintf(w, "%9.0f", u)
+		}
+		fmt.Fprintln(w)
+		for i, s := range r.Schemes {
+			fmt.Fprintf(w, "%-10s", s)
+			for _, v := range data[i] {
+				fmt.Fprintf(w, "%9.*f", prec, v*scale)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	panel("throughput", "Mbps", r.ThroughputMbps, 1, 2)
+	panel("delay", "µs", r.DelayUs, 1, 0)
+	panel("fairness", "Jain", r.Fairness, 1, 3)
+}
+
+// Fig14Result is the CDF of DOMINO's throughput gain over DCF across random
+// T(20,3) topologies.
+type Fig14Result struct {
+	Gains *stats.CDF
+	// Skipped counts random placements on which a T(20,3) could not be
+	// selected (reported, not hidden).
+	Skipped int
+}
+
+// Fig14 runs `o.Runs` random 800×800 m placements (110 nodes, of which the
+// T(20,3) selection uses 80), saturated UDP, and collects DOMINO/DCF
+// aggregate-throughput ratios (paper Fig 14: gains 1.22–1.96, median 1.58).
+func Fig14(o Options) Fig14Result {
+	o = o.withDefaults()
+	res := Fig14Result{Gains: &stats.CDF{}}
+	for run := 0; run < o.Runs; run++ {
+		seed := o.Seed + int64(run)*101
+		tr := topo.RandomTrace(seed, 110, 800)
+		rng := rand.New(rand.NewSource(seed))
+		net, err := topo.BuildT(tr, 20, 3, phy.DefaultConfig(), phy.Rate12, rng)
+		if err != nil {
+			res.Skipped++
+			continue
+		}
+		dcfRes := core.Run(core.Scenario{
+			Net: rebuild(tr, seed), Downlink: true, Uplink: true, Scheme: core.DCF,
+			Seed: seed, Duration: o.Duration, Warmup: o.Warmup,
+			Traffic: core.UDPCBR, DownMbps: 10, UpMbps: 10,
+		})
+		domRes := core.Run(core.Scenario{
+			Net: net, Downlink: true, Uplink: true, Scheme: core.DOMINO,
+			Seed: seed, Duration: o.Duration, Warmup: o.Warmup,
+			Traffic: core.UDPCBR, DownMbps: 10, UpMbps: 10,
+		})
+		if dcfRes.AggregateMbps > 0 {
+			res.Gains.Add(domRes.AggregateMbps / dcfRes.AggregateMbps)
+		}
+	}
+	return res
+}
+
+// rebuild reselects the same T(20,3) (same seed) for the second engine: each
+// engine registers listeners on its own medium, but Network values are
+// cheap.
+func rebuild(tr *topo.Trace, seed int64) *topo.Network {
+	rng := rand.New(rand.NewSource(seed))
+	net, err := topo.BuildT(tr, 20, 3, phy.DefaultConfig(), phy.Rate12, rng)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}
+
+// Print renders the gain CDF.
+func (r Fig14Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Fig 14: CDF of DOMINO/DCF throughput gain, random T(20,3)")
+	hline(w, 58)
+	if r.Gains.N() == 0 {
+		fmt.Fprintln(w, "no feasible topologies")
+		return
+	}
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+		fmt.Fprintf(w, "  p%-3.0f gain = %.2fx\n", q*100, r.Gains.Quantile(q))
+	}
+	if r.Skipped > 0 {
+		fmt.Fprintf(w, "  (%d infeasible placements skipped)\n", r.Skipped)
+	}
+}
+
+// PollingSweepResult: §5 batch-size (polling frequency) trade-off.
+type PollingSweepResult struct {
+	BatchSizes []int
+	// Heavy traffic (5 Mbps/link) and light traffic (0.5 Mbps/link) rows.
+	HeavyMbps, HeavyDelayUs []float64
+	LightMbps, LightDelayUs []float64
+}
+
+// PollingSweep varies DOMINO's batch size under heavy and light UDP load on
+// T(10,2) (paper §5 "Polling frequency").
+func PollingSweep(o Options) PollingSweepResult {
+	o = o.withDefaults()
+	res := PollingSweepResult{BatchSizes: []int{4, 8, 12, 24, 48}}
+	run := func(rate float64, batch int) (float64, float64) {
+		net := T10x2(o.Seed)
+		r := core.Run(core.Scenario{
+			Net: net, Downlink: true, Uplink: true, Scheme: core.DOMINO,
+			Seed: o.Seed, Duration: o.Duration, Warmup: o.Warmup,
+			Traffic: core.UDPCBR, DownMbps: rate, UpMbps: rate,
+			TuneDomino: func(c *domino.Config) { c.BatchSize = batch },
+		})
+		return r.DataMbps, r.MeanDelay.Microseconds()
+	}
+	for _, b := range res.BatchSizes {
+		m, d := run(5, b)
+		res.HeavyMbps = append(res.HeavyMbps, m)
+		res.HeavyDelayUs = append(res.HeavyDelayUs, d)
+		m, d = run(0.5, b)
+		res.LightMbps = append(res.LightMbps, m)
+		res.LightDelayUs = append(res.LightDelayUs, d)
+	}
+	return res
+}
+
+// Print renders the polling-frequency sweep.
+func (r PollingSweepResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "§5: batch size (1/polling frequency) sweep, T(10,2) UDP")
+	hline(w, 66)
+	fmt.Fprintf(w, "%-22s", "batch size")
+	for _, b := range r.BatchSizes {
+		fmt.Fprintf(w, "%9d", b)
+	}
+	fmt.Fprintln(w)
+	rows := []struct {
+		name string
+		vals []float64
+		prec int
+	}{
+		{"heavy tput (Mbps)", r.HeavyMbps, 2},
+		{"heavy delay (µs)", r.HeavyDelayUs, 0},
+		{"light tput (Mbps)", r.LightMbps, 2},
+		{"light delay (µs)", r.LightDelayUs, 0},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-22s", row.name)
+		for _, v := range row.vals {
+			fmt.Fprintf(w, "%9.*f", row.prec, v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// LightLoadResult: §5 light-traffic delay comparison on T(6,5).
+type LightLoadResult struct {
+	DominoDelay, DCFDelay sim.Time
+	Ratio                 float64
+	// AdaptiveDelay/AdaptiveRatio use the adaptive batch policy (the
+	// "better polling scheme" the paper leaves as future work).
+	AdaptiveDelay sim.Time
+	AdaptiveRatio float64
+}
+
+// LightLoad measures DOMINO's control overhead at web-browsing-like rates
+// (48 Kbps per link on T(6,5); paper: delay only 1.14× DCF's).
+func LightLoad(o Options) LightLoadResult {
+	o = o.withDefaults()
+	// T(6,5) consumes 36 of the trace's 40 nodes, so clients must accept
+	// weaker APs than the default association policy; scan seeds for a
+	// feasible selection.
+	const t65Floor = -76
+	feasible := int64(-1)
+	for probe := int64(0); probe <= 100; probe++ {
+		tr := topo.CampusTrace(o.Seed + probe)
+		rng := rand.New(rand.NewSource(o.Seed))
+		if _, err := topo.BuildTWithFloor(tr, 6, 5, t65Floor, phy.DefaultConfig(), phy.Rate12, rng); err == nil {
+			feasible = o.Seed + probe
+			break
+		}
+	}
+	if feasible < 0 {
+		panic("exp: no campus trace supports T(6,5)")
+	}
+	build := func() *topo.Network {
+		tr := topo.CampusTrace(feasible)
+		rng := rand.New(rand.NewSource(o.Seed))
+		net, err := topo.BuildTWithFloor(tr, 6, 5, t65Floor, phy.DefaultConfig(), phy.Rate12, rng)
+		if err != nil {
+			panic(err)
+		}
+		return net
+	}
+	const rate = 0.048 // 6 KBps
+	dom := core.Run(core.Scenario{
+		Net: build(), Downlink: true, Uplink: true, Scheme: core.DOMINO,
+		Seed: o.Seed, Duration: o.Duration, Warmup: o.Warmup,
+		Traffic: core.UDPCBR, DownMbps: rate, UpMbps: rate,
+	})
+	adaptive := core.Run(core.Scenario{
+		Net: build(), Downlink: true, Uplink: true, Scheme: core.DOMINO,
+		Seed: o.Seed, Duration: o.Duration, Warmup: o.Warmup,
+		Traffic: core.UDPCBR, DownMbps: rate, UpMbps: rate,
+		TuneDomino: func(c *domino.Config) { c.AdaptiveBatch = true },
+	})
+	d := core.Run(core.Scenario{
+		Net: build(), Downlink: true, Uplink: true, Scheme: core.DCF,
+		Seed: o.Seed, Duration: o.Duration, Warmup: o.Warmup,
+		Traffic: core.UDPCBR, DownMbps: rate, UpMbps: rate,
+	})
+	res := LightLoadResult{
+		DominoDelay:   dom.MeanDelay,
+		DCFDelay:      d.MeanDelay,
+		AdaptiveDelay: adaptive.MeanDelay,
+	}
+	if d.MeanDelay > 0 {
+		res.Ratio = float64(dom.MeanDelay) / float64(d.MeanDelay)
+		res.AdaptiveRatio = float64(adaptive.MeanDelay) / float64(d.MeanDelay)
+	}
+	return res
+}
+
+// Print renders the light-load comparison.
+func (r LightLoadResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "§5: light traffic (T(6,5), 6 KBps per link)")
+	hline(w, 48)
+	fmt.Fprintf(w, "DOMINO delay: %v\nDCF delay:    %v\nratio:        %.2fx (paper: 1.14x)\n",
+		r.DominoDelay, r.DCFDelay, r.Ratio)
+	fmt.Fprintf(w, "with adaptive batching: %v (%.2fx)\n", r.AdaptiveDelay, r.AdaptiveRatio)
+}

@@ -1,0 +1,125 @@
+package gold
+
+import "math/rand"
+
+// SenderMode distinguishes the Fig 9 experiment setups: multiple triggering
+// transmitters either repeat the same combined signature (the redundancy
+// DOMINO uses for robustness) or carry different signatures.
+type SenderMode int
+
+const (
+	// SameSignatures: every sender transmits the identical combination.
+	SameSignatures SenderMode = iota
+	// DifferentSignatures: the combined set is partitioned across senders.
+	DifferentSignatures
+)
+
+// Setup is one curve of paper Fig 9.
+type Setup struct {
+	Senders int
+	Mode    SenderMode
+}
+
+// Fig9Setups lists the five experiment configurations of paper Fig 9.
+func Fig9Setups() []Setup {
+	return []Setup{
+		{Senders: 1, Mode: SameSignatures},
+		{Senders: 2, Mode: SameSignatures},
+		{Senders: 2, Mode: DifferentSignatures},
+		{Senders: 3, Mode: SameSignatures},
+		{Senders: 3, Mode: DifferentSignatures},
+	}
+}
+
+// DetectionResult aggregates one Monte-Carlo run.
+type DetectionResult struct {
+	// Detected is the fraction of trials in which the target signature was
+	// found by the correlator.
+	Detected float64
+	// FalsePositive is the fraction of trials in which a signature that was
+	// NOT transmitted crossed the detection threshold.
+	FalsePositive float64
+}
+
+// DetectionTrial runs Monte-Carlo trials of a trigger reception: `combined`
+// distinct signatures are in the air, spread over the setup's senders, each
+// sender arriving with unit amplitude (the worst case the paper evaluates:
+// equal RSS) at the given chip SNR. Triggering transmitters are not
+// chip-synchronised, so every sender after the first lands at a random cyclic
+// offset; the receiver's correlator is locked to the sender carrying the
+// target signature. The detector hunts for the first signature of the
+// combination and, for the false-positive count, for a signature known to be
+// absent. Codes are drawn fresh each trial.
+func DetectionTrial(s *Set, setup Setup, combined, trials int, snrDB float64, rng *rand.Rand) DetectionResult {
+	if combined < 1 || combined >= s.Count()-1 {
+		panic("gold: combined signature count out of range")
+	}
+	corr := NewCorrelator(s)
+	noise := NoiseStdForSNR(snrDB)
+	var det, fp int
+	for trial := 0; trial < trials; trial++ {
+		idx := rng.Perm(s.Count())
+		sigs := idx[:combined]
+		absent := idx[combined]
+
+		rx := make([]float64, s.Len())
+		offset := func(sender int) int {
+			if sender == 0 {
+				return 0 // the correlator is locked to sender 0
+			}
+			return rng.Intn(s.Len())
+		}
+		switch setup.Mode {
+		case SameSignatures:
+			// Every sender carries the full combination.
+			for sender := 0; sender < setup.Senders; sender++ {
+				s.AddShifted(rx, 1, offset(sender), sigs...)
+			}
+		case DifferentSignatures:
+			// Partition the combination round-robin across senders; each
+			// signature is transmitted exactly once. The target (sigs[0])
+			// lands on sender 0.
+			for sender := 0; sender < setup.Senders; sender++ {
+				var part []int
+				for i := sender; i < len(sigs); i += setup.Senders {
+					part = append(part, sigs[i])
+				}
+				if len(part) == 0 {
+					continue
+				}
+				s.AddShifted(rx, 1, offset(sender), part...)
+			}
+		}
+		AddAWGN(rx, noise, rng)
+
+		if corr.Detect(rx, sigs[0]) {
+			det++
+		}
+		if corr.Detect(rx, absent) {
+			fp++
+		}
+	}
+	return DetectionResult{
+		Detected:      float64(det) / float64(trials),
+		FalsePositive: float64(fp) / float64(trials),
+	}
+}
+
+// MeasureDetectionCurve runs the worst-case setup the MAC engine cares about
+// (multiple senders, different signatures) across combined counts 1..max and
+// returns detection probabilities indexed by combined count. Index 0 is 1.0
+// (nothing to detect never fails). This is the table phy.DefaultDetector
+// encodes.
+func MeasureDetectionCurve(s *Set, max, trials int, snrDB float64, rng *rand.Rand) []float64 {
+	curve := make([]float64, max+1)
+	curve[0] = 1
+	for c := 1; c <= max; c++ {
+		setup := Setup{Senders: 2, Mode: DifferentSignatures}
+		if c == 1 {
+			setup = Setup{Senders: 1, Mode: SameSignatures}
+		}
+		r := DetectionTrial(s, setup, c, trials, snrDB, rng)
+		curve[c] = r.Detected
+	}
+	return curve
+}

@@ -1,0 +1,49 @@
+package gold
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestShiftAndAdd: the defining m-sequence property — XOR of a sequence with
+// a cyclic shift of itself is another cyclic shift (checked via chip products
+// summing to -1 at every offset pair, which the family structure relies on).
+func TestShiftAndAdd(t *testing.T) {
+	s, _ := NewSet(7)
+	f := func(k8, j8 uint8) bool {
+		n := s.Len()
+		k, j := int(k8)%n, int(j8)%n
+		if k == j {
+			return true
+		}
+		// Family codes a⊕T^k b and a⊕T^j b correlate at exactly -1.
+		return s.CrossCorr(2+k, 2+j, 0) == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunProperty: an m-sequence of degree m has 2^(m-2) runs of length 1,
+// 2^(m-3) of length 2, ... (the classic run-length property); check the
+// counts of the first few lengths.
+func TestRunProperty(t *testing.T) {
+	s, _ := NewSet(7)
+	chips := s.Code(0)
+	n := len(chips)
+	runs := map[int]int{}
+	runLen := 1
+	for i := 1; i <= n; i++ {
+		if chips[i%n] == chips[(i-1)%n] && i < n {
+			runLen++
+			continue
+		}
+		runs[runLen]++
+		runLen = 1
+	}
+	// Degree 7: 32 runs of length 1, 16 of length 2, 8 of length 3.
+	if runs[1] != 32 || runs[2] != 16 || runs[3] != 8 {
+		t.Errorf("run counts = %v, want 1:32 2:16 3:8", runs)
+	}
+}

@@ -1,0 +1,165 @@
+// Package mac holds the pieces every channel-access engine shares: the
+// MAC-layer packet, bounded per-link FIFO queues, the engine interface the
+// traffic generators push into, and the delivery-event plumbing that feeds
+// statistics, saturated-source refill, and the TCP model.
+package mac
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// DefaultQueueCap bounds each link's MAC queue (packets). Arrivals beyond it
+// are tail-dropped, as in ns-3's default WiFi MAC queue.
+const DefaultQueueCap = 2000
+
+// RetryLimit is the 802.11 long-retry limit: a data frame is dropped after
+// this many failed transmission attempts.
+const RetryLimit = 7
+
+// Packet is one MAC-layer service data unit queued on a link.
+type Packet struct {
+	// Link the packet travels on.
+	Link *topo.Link
+	// Bytes is the MAC payload length.
+	Bytes int
+	// Enqueued is when the packet entered the MAC queue; delay is measured
+	// from here to successful delivery (paper §4.2.4).
+	Enqueued sim.Time
+	// Seq is a per-link sequence number assigned by the source.
+	Seq uint64
+	// FlowID identifies the transport flow (TCP model); -1 for plain UDP.
+	FlowID int
+	// TCPAck marks transport-level acknowledgements, which DOMINO schedules
+	// as regular data packets occupying a whole slot (paper §4.2.3).
+	TCPAck bool
+	// AckSeq is the cumulative TCP acknowledgement number when TCPAck.
+	AckSeq uint64
+	// Retries counts transmission attempts so far.
+	Retries int
+}
+
+// Events receives packet outcomes from an engine. Delivered fires when the
+// receiver decodes the packet (at most once per packet); Dropped fires when
+// the MAC gives up (retry limit or queue overflow).
+type Events interface {
+	Delivered(p *Packet, now sim.Time)
+	Dropped(p *Packet, now sim.Time)
+}
+
+// Mux fans events out to several sinks in order.
+type Mux []Events
+
+// Delivered implements Events.
+func (m Mux) Delivered(p *Packet, now sim.Time) {
+	for _, e := range m {
+		e.Delivered(p, now)
+	}
+}
+
+// Dropped implements Events.
+func (m Mux) Dropped(p *Packet, now sim.Time) {
+	for _, e := range m {
+		e.Dropped(p, now)
+	}
+}
+
+// Hub is a mutable Events fan-out: engines are constructed with the Hub, and
+// sinks that themselves need the engine (saturated sources, TCP flows) are
+// added afterwards.
+type Hub struct {
+	sinks []Events
+}
+
+// Add appends a sink.
+func (h *Hub) Add(e Events) { h.sinks = append(h.sinks, e) }
+
+// Delivered implements Events.
+func (h *Hub) Delivered(p *Packet, now sim.Time) {
+	for _, e := range h.sinks {
+		e.Delivered(p, now)
+	}
+}
+
+// Dropped implements Events.
+func (h *Hub) Dropped(p *Packet, now sim.Time) {
+	for _, e := range h.sinks {
+		e.Dropped(p, now)
+	}
+}
+
+// NopEvents discards all events.
+type NopEvents struct{}
+
+// Delivered implements Events.
+func (NopEvents) Delivered(*Packet, sim.Time) {}
+
+// Dropped implements Events.
+func (NopEvents) Dropped(*Packet, sim.Time) {}
+
+// Engine is a channel-access protocol instance: traffic generators push
+// packets in, Start arms the initial events, and queue lengths are visible
+// for polling protocols and observers.
+type Engine interface {
+	// Start schedules the engine's initial events. Call once, before Run.
+	Start()
+	// Enqueue offers a packet to the MAC queue of p.Link. The engine may
+	// tail-drop it (reported via Events.Dropped).
+	Enqueue(p *Packet)
+	// QueueLen reports the backlog (packets) of the given link ID.
+	QueueLen(link int) int
+}
+
+// Queue is a bounded FIFO of packets for one link.
+type Queue struct {
+	pkts []*Packet
+	cap  int
+}
+
+// NewQueue returns a queue bounded to capacity packets (0 means
+// DefaultQueueCap).
+func NewQueue(capacity int) *Queue {
+	if capacity <= 0 {
+		capacity = DefaultQueueCap
+	}
+	return &Queue{cap: capacity}
+}
+
+// Push appends p and reports whether it was accepted (false: tail drop).
+func (q *Queue) Push(p *Packet) bool {
+	if len(q.pkts) >= q.cap {
+		return false
+	}
+	q.pkts = append(q.pkts, p)
+	return true
+}
+
+// Pop removes and returns the head, or nil when empty.
+func (q *Queue) Pop() *Packet {
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	p := q.pkts[0]
+	q.pkts[0] = nil
+	q.pkts = q.pkts[1:]
+	return p
+}
+
+// Peek returns the head without removing it, or nil when empty.
+func (q *Queue) Peek() *Packet {
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	return q.pkts[0]
+}
+
+// PushFront reinserts a packet at the head (retransmission priority).
+func (q *Queue) PushFront(p *Packet) {
+	q.pkts = append([]*Packet{p}, q.pkts...)
+}
+
+// Len returns the backlog in packets.
+func (q *Queue) Len() int { return len(q.pkts) }
+
+// Cap returns the queue bound.
+func (q *Queue) Cap() int { return q.cap }

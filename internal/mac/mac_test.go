@@ -1,0 +1,74 @@
+package mac
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func TestQueueFIFOAndBounds(t *testing.T) {
+	q := NewQueue(3)
+	for i := 0; i < 3; i++ {
+		if !q.Push(&Packet{Seq: uint64(i)}) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	if q.Push(&Packet{Seq: 99}) {
+		t.Fatal("push beyond cap accepted")
+	}
+	for i := 0; i < 3; i++ {
+		if got := q.Pop(); got.Seq != uint64(i) {
+			t.Fatalf("pop %d returned seq %d", i, got.Seq)
+		}
+	}
+	if q.Pop() != nil || q.Peek() != nil {
+		t.Fatal("empty queue returned a packet")
+	}
+}
+
+func TestQueuePushFront(t *testing.T) {
+	q := NewQueue(0)
+	q.Push(&Packet{Seq: 1})
+	q.PushFront(&Packet{Seq: 0})
+	if q.Peek().Seq != 0 {
+		t.Fatal("PushFront not at head")
+	}
+	if q.Cap() != DefaultQueueCap {
+		t.Fatalf("default cap = %d", q.Cap())
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}
+
+type record struct {
+	delivered, dropped int
+}
+
+func (r *record) Delivered(*Packet, sim.Time) { r.delivered++ }
+func (r *record) Dropped(*Packet, sim.Time)   { r.dropped++ }
+
+func TestMuxAndHubFanOut(t *testing.T) {
+	a, b := &record{}, &record{}
+	p := &Packet{Link: &topo.Link{ID: 0}}
+
+	m := Mux{a, b}
+	m.Delivered(p, 0)
+	m.Dropped(p, 0)
+
+	h := &Hub{}
+	h.Add(a)
+	h.Delivered(p, 0)
+	h.Add(b)
+	h.Dropped(p, 0)
+
+	if a.delivered != 2 || a.dropped != 2 {
+		t.Errorf("sink a: %+v", a)
+	}
+	if b.delivered != 1 || b.dropped != 2 {
+		t.Errorf("sink b: %+v", b)
+	}
+	NopEvents{}.Delivered(p, 0)
+	NopEvents{}.Dropped(p, 0)
+}

@@ -1,0 +1,57 @@
+// Package ofdm implements the Rapid OFDM Polling PHY (paper §3.1): the
+// 256-subcarrier control symbol of Table 1, 2ASK modulation of client queue
+// sizes onto per-client subchannels, and a sample-level channel model
+// (per-client gain, residual carrier-frequency offset, propagation delay
+// within the cyclic prefix, AWGN) from which the inter-subchannel
+// interference of Figs 5 and 6 emerges naturally.
+package ofdm
+
+import "math"
+
+// FFT computes the in-place radix-2 decimation-in-time FFT. The length must
+// be a power of two.
+func FFT(x []complex128) { fft(x, false) }
+
+// IFFT computes the in-place inverse FFT with 1/N normalisation.
+func IFFT(x []complex128) {
+	fft(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func fft(x []complex128, inverse bool) {
+	n := len(x)
+	if n&(n-1) != 0 || n == 0 {
+		panic("ofdm: FFT length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			for k := 0; k < length/2; k++ {
+				u := x[start+k]
+				v := x[start+k+length/2] * w
+				x[start+k] = u + v
+				x[start+k+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package ofdm
+
+import "fmt"
+
+// SampleRate is the 20 MHz channel sampling rate.
+const SampleRate = 20e6
+
+// Layout describes the ROP control symbol's subcarrier allocation
+// (paper Table 1 and Fig 3).
+type Layout struct {
+	// N is the FFT size (256 for ROP vs 64 for regular WiFi).
+	N int
+	// PerSub is the number of data subcarriers per subchannel (6: one bit
+	// each, encoding queue sizes 0..63 in 2ASK).
+	PerSub int
+	// Guard is the number of guard subcarriers between adjacent subchannels
+	// (3 by default; Fig 6 sweeps 0..4).
+	Guard int
+	// CPLen is the cyclic-prefix length in samples (64 = 3.2 µs), sized so
+	// the longest turnaround propagation delay (2 µs at 300 m) still leaves
+	// a clean FFT window.
+	CPLen int
+	// EdgeGuard is the number of unused subcarriers at the top of the
+	// positive half; the mirrored bottom edge gets EdgeGuard+1. With the
+	// default layout that totals 39, matching 802.11's proportion of guard
+	// band (paper §3.1).
+	EdgeGuard int
+}
+
+// DefaultLayout returns the Table 1 parameter set: 256 subcarriers, 24
+// subchannels of 6, 3 guard subcarriers, 3.2 µs CP, 16 µs symbol.
+func DefaultLayout() Layout {
+	return Layout{N: 256, PerSub: 6, Guard: 3, CPLen: 64, EdgeGuard: 19}
+}
+
+// SymbolSamples returns the total time-domain length: CP plus FFT body.
+func (l Layout) SymbolSamples() int { return l.CPLen + l.N }
+
+// SymbolDurationUs returns the symbol duration in microseconds (16 µs for
+// the default layout).
+func (l Layout) SymbolDurationUs() float64 {
+	return float64(l.SymbolSamples()) / SampleRate * 1e6
+}
+
+// perSide returns how many subchannels fit on each half of the spectrum.
+func (l Layout) perSide() int {
+	usable := l.N/2 - 1 - l.EdgeGuard // indices 1..N/2-1 minus top edge
+	return usable / (l.PerSub + l.Guard)
+}
+
+// NumSubchannels returns how many subchannels the layout offers (24 for the
+// default: 12 per spectral half).
+func (l Layout) NumSubchannels() int { return 2 * l.perSide() }
+
+// SubcarrierIndices returns the FFT bin indices of subchannel s's data
+// subcarriers. Subchannels 0..perSide-1 sit on positive frequencies rising
+// from DC; perSide..2·perSide-1 mirror onto negative frequencies (bins
+// N/2+1..N-1), exactly as drawn in paper Fig 3. The DC bin is never used.
+func (l Layout) SubcarrierIndices(s int) []int {
+	side := l.perSide()
+	if s < 0 || s >= 2*side {
+		panic(fmt.Sprintf("ofdm: subchannel %d out of range (have %d)", s, 2*side))
+	}
+	span := l.PerSub + l.Guard
+	out := make([]int, l.PerSub)
+	if s < side {
+		start := 1 + s*span
+		for i := range out {
+			out[i] = start + i
+		}
+		return out
+	}
+	// Negative side: mirror of the positive allocation.
+	start := 1 + (s-side)*span
+	for i := range out {
+		out[i] = l.N - (start + i)
+	}
+	return out
+}
+
+// Validate checks internal consistency.
+func (l Layout) Validate() error {
+	if l.N <= 0 || l.N&(l.N-1) != 0 {
+		return fmt.Errorf("ofdm: N=%d not a power of two", l.N)
+	}
+	if l.PerSub <= 0 || l.Guard < 0 || l.CPLen < 0 || l.EdgeGuard < 0 {
+		return fmt.Errorf("ofdm: negative layout parameter")
+	}
+	if l.NumSubchannels() < 1 {
+		return fmt.Errorf("ofdm: layout fits no subchannels")
+	}
+	return nil
+}
+
+// EncodeQueue maps a queue length to the 6-bit (PerSub-bit) value actually
+// reported: queues longer than the field saturate at its maximum, and the
+// client keeps track of the unreported remainder (paper §3.1).
+func (l Layout) EncodeQueue(queueLen int) int {
+	max := 1<<l.PerSub - 1
+	if queueLen < 0 {
+		return 0
+	}
+	if queueLen > max {
+		return max
+	}
+	return queueLen
+}

@@ -1,0 +1,334 @@
+package phy
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Medium is the shared radio channel. All methods must be called from inside
+// the simulation event loop (the kernel is single-threaded).
+type Medium struct {
+	k     *sim.Kernel
+	cfg   Config
+	rss   [][]float64 // rss[i][j]: dBm received at j when i transmits
+	nodes []nodeState
+
+	csMw    float64
+	floorMw float64
+	noiseMw float64
+
+	// Counters for tests and reporting.
+	Transmissions int
+	Delivered     int
+	Corrupted     int
+}
+
+type nodeState struct {
+	listener Listener
+	// totalMw is the summed received power (mW) of all active transmissions
+	// heard at this node, excluding its own.
+	totalMw float64
+	// sigMw is the portion of totalMw contributed by Signature frames.
+	sigMw float64
+	// activeSigs tracks concurrent signature transmissions audible here,
+	// with their received power: the combined-detection load for a
+	// correlator counts only signatures comparable in power to its target
+	// (weaker ones vanish under the spreading gain).
+	activeSigs []sigRec
+	tx         *transmission
+	busy       bool
+	recs       []*reception
+}
+
+type sigRec struct {
+	tx      *transmission
+	powerMw float64
+	n       int
+}
+
+// combinedSigsNear sums the signature counts of active transmissions whose
+// power is within 10 dB of the target's.
+func (ns *nodeState) combinedSigsNear(targetMw float64) int {
+	total := 0
+	for _, r := range ns.activeSigs {
+		if r.powerMw >= targetMw/10 {
+			total += r.n
+		}
+	}
+	return total
+}
+
+type transmission struct {
+	frame *Frame
+	src   NodeID
+	// powerMw[j] is this transmission's received power at node j, cached so
+	// start and end adjust node totals by exactly the same amount.
+	powerMw []float64
+	recs    []*reception
+}
+
+type reception struct {
+	tx      *transmission
+	at      NodeID
+	powerMw float64
+	// interfMaxMw is the worst instantaneous interference-plus-noise (mW)
+	// observed during the frame. For Signature frames, signature-frame power
+	// is excluded (orthogonal codes) and maxSigs tracks the combination load.
+	interfMaxMw float64
+	maxSigs     int
+	failed      bool // half-duplex violation
+}
+
+// NewMedium builds a medium over the given RSS matrix (dBm, indexed
+// [src][dst]; the diagonal is ignored). The matrix is retained, not copied.
+func NewMedium(k *sim.Kernel, rssDBm [][]float64, cfg Config) *Medium {
+	n := len(rssDBm)
+	for i, row := range rssDBm {
+		if len(row) != n {
+			panic(fmt.Sprintf("phy: rss row %d has %d entries, want %d", i, len(row), n))
+		}
+	}
+	if cfg.Detector == nil {
+		cfg.Detector = DefaultDetector
+	}
+	return &Medium{
+		k:       k,
+		cfg:     cfg,
+		rss:     rssDBm,
+		nodes:   make([]nodeState, n),
+		csMw:    DBmToMw(cfg.CSThreshDBm),
+		floorMw: DBmToMw(cfg.DeliverFloorDBm),
+		noiseMw: DBmToMw(cfg.NoiseDBm),
+	}
+}
+
+// NumNodes returns the number of radios on the medium.
+func (m *Medium) NumNodes() int { return len(m.nodes) }
+
+// Kernel returns the simulation kernel driving the medium.
+func (m *Medium) Kernel() *sim.Kernel { return m.k }
+
+// Config returns the medium's parameters.
+func (m *Medium) Config() Config { return m.cfg }
+
+// Register installs the listener for a node. At most one listener per node.
+func (m *Medium) Register(n NodeID, l Listener) {
+	if m.nodes[n].listener != nil {
+		panic(fmt.Sprintf("phy: node %d already has a listener", n))
+	}
+	m.nodes[n].listener = l
+}
+
+// RSS returns the received signal strength (dBm) at dst when src transmits.
+func (m *Medium) RSS(src, dst NodeID) float64 { return m.rss[src][dst] }
+
+// SNRdB returns the interference-free SNR of the src→dst channel.
+func (m *Medium) SNRdB(src, dst NodeID) float64 {
+	return m.rss[src][dst] - m.cfg.NoiseDBm
+}
+
+// InRange reports whether dst can decode a frame from src at the given rate
+// with no interference present.
+func (m *Medium) InRange(src, dst NodeID, rate Rate) bool {
+	return m.rss[src][dst] >= m.cfg.DeliverFloorDBm &&
+		m.SNRdB(src, dst) >= SNRThresholdDB(rate)
+}
+
+// Hears reports whether dst's carrier sense detects src's transmissions.
+func (m *Medium) Hears(src, dst NodeID) bool {
+	return m.rss[src][dst] >= m.cfg.CSThreshDBm
+}
+
+// Busy reports the carrier-sense state at n: energy from other transmitters
+// above the CS threshold, or n itself transmitting.
+func (m *Medium) Busy(n NodeID) bool {
+	return m.nodes[n].tx != nil || m.nodes[n].totalMw >= m.csMw
+}
+
+// Transmitting reports whether n is currently transmitting.
+func (m *Medium) Transmitting(n NodeID) bool { return m.nodes[n].tx != nil }
+
+// Transmit puts a frame on the air from src. The frame occupies the medium
+// for its AirTime; reception outcomes are delivered to listeners when it
+// ends. Transmitting while already transmitting panics (a MAC bug).
+func (m *Medium) Transmit(src NodeID, f *Frame) {
+	ns := &m.nodes[src]
+	if ns.tx != nil {
+		panic(fmt.Sprintf("phy: node %d transmit while transmitting (%v over %v)",
+			src, f.Kind, ns.tx.frame.Kind))
+	}
+	f.Src = src
+	m.Transmissions++
+	tx := &transmission{frame: f, src: src, powerMw: make([]float64, len(m.nodes))}
+	ns.tx = tx
+
+	// Half-duplex: starting a transmission destroys anything the node was
+	// receiving.
+	for _, r := range ns.recs {
+		r.failed = true
+	}
+
+	sig := f.Kind == Signature
+	var sigN int
+	if sig {
+		if p, ok := f.Payload.(*SignaturePayload); ok {
+			sigN = p.Combined()
+		} else {
+			sigN = 1
+		}
+	}
+
+	var carrier []NodeID
+	for j := range m.nodes {
+		if NodeID(j) == src {
+			continue
+		}
+		p := DBmToMw(m.rss[src][j])
+		tx.powerMw[j] = p
+		dst := &m.nodes[j]
+		dst.totalMw += p
+		if sig {
+			dst.sigMw += p
+			dst.activeSigs = append(dst.activeSigs, sigRec{tx: tx, powerMw: p, n: sigN})
+		}
+		// Raise the observed interference for every in-flight reception.
+		for _, r := range dst.recs {
+			m.foldInterference(r, dst)
+		}
+		// Start a reception if the frame is strong enough to matter.
+		if dst.listener != nil && p >= m.floorMw {
+			r := &reception{tx: tx, at: NodeID(j), powerMw: p, failed: dst.tx != nil}
+			m.foldInterference(r, dst)
+			dst.recs = append(dst.recs, r)
+			tx.recs = append(tx.recs, r)
+		}
+		if m.carrierFlipped(dst) {
+			carrier = append(carrier, NodeID(j))
+		}
+	}
+	// Notify only after the medium state has fully settled: a listener may
+	// react by transmitting, which re-enters this method.
+	m.notifyCarrier(carrier)
+
+	m.k.After(f.AirTime(), func() { m.endTransmission(tx, sig, sigN) })
+}
+
+// foldInterference updates r's worst-case interference from the current state
+// at node dst.
+func (m *Medium) foldInterference(r *reception, dst *nodeState) {
+	var interf float64
+	if r.tx.frame.Kind == Signature {
+		// Orthogonal spreading: other signatures do not count as noise, but
+		// the combination load of comparably strong ones does.
+		interf = dst.totalMw - dst.sigMw + m.noiseMw
+		if n := dst.combinedSigsNear(r.powerMw); n > r.maxSigs {
+			r.maxSigs = n
+		}
+	} else {
+		interf = dst.totalMw - r.powerMw + m.noiseMw
+	}
+	if interf < m.noiseMw { // guard against FP residue
+		interf = m.noiseMw
+	}
+	if interf > r.interfMaxMw {
+		r.interfMaxMw = interf
+	}
+}
+
+func (m *Medium) endTransmission(tx *transmission, sig bool, sigN int) {
+	m.nodes[tx.src].tx = nil
+	var carrier []NodeID
+	for j := range m.nodes {
+		if NodeID(j) == tx.src {
+			continue
+		}
+		dst := &m.nodes[j]
+		dst.totalMw -= tx.powerMw[j]
+		if dst.totalMw < 0 { // guard against FP residue
+			dst.totalMw = 0
+		}
+		if sig {
+			dst.sigMw -= tx.powerMw[j]
+			if dst.sigMw < 0 {
+				dst.sigMw = 0
+			}
+			for i, r := range dst.activeSigs {
+				if r.tx == tx {
+					dst.activeSigs[i] = dst.activeSigs[len(dst.activeSigs)-1]
+					dst.activeSigs = dst.activeSigs[:len(dst.activeSigs)-1]
+					break
+				}
+			}
+		}
+		if m.carrierFlipped(dst) {
+			carrier = append(carrier, NodeID(j))
+		}
+	}
+	// Judge receptions while the state is settled, then notify: carrier
+	// transitions first (the channel went idle as the frame ended), then the
+	// frame outcomes.
+	type outcome struct {
+		r   *reception
+		ok  bool
+		det *SignatureDetection
+	}
+	outcomes := make([]outcome, 0, len(tx.recs))
+	for _, r := range tx.recs {
+		dst := &m.nodes[r.at]
+		dst.recs = removeReception(dst.recs, r)
+		ok, det := m.judge(r)
+		if ok {
+			m.Delivered++
+		} else {
+			m.Corrupted++
+		}
+		outcomes = append(outcomes, outcome{r, ok, det})
+	}
+	m.notifyCarrier(carrier)
+	for _, o := range outcomes {
+		m.nodes[o.r.at].listener.FrameReceived(tx.frame, o.ok, o.det)
+	}
+}
+
+// judge decides a reception's outcome at frame end.
+func (m *Medium) judge(r *reception) (bool, *SignatureDetection) {
+	sinr := MwToDBm(r.powerMw) - MwToDBm(r.interfMaxMw)
+	if r.tx.frame.Kind != Signature {
+		return !r.failed && sinr >= SNRThresholdDB(r.tx.frame.Rate), nil
+	}
+	det := &SignatureDetection{Combined: r.maxSigs, SINRdB: sinr}
+	if r.failed || sinr < m.cfg.SigSINRdB {
+		return false, det
+	}
+	p := m.cfg.Detector(r.maxSigs)
+	return m.k.Rand().Float64() < p, det
+}
+
+func removeReception(recs []*reception, r *reception) []*reception {
+	for i, x := range recs {
+		if x == r {
+			recs[i] = recs[len(recs)-1]
+			return recs[:len(recs)-1]
+		}
+	}
+	return recs
+}
+
+// carrierFlipped records a carrier-sense transition at the node and reports
+// whether a listener notification is due.
+func (m *Medium) carrierFlipped(ns *nodeState) bool {
+	busy := ns.totalMw >= m.csMw
+	if busy == ns.busy {
+		return false
+	}
+	ns.busy = busy
+	return ns.listener != nil
+}
+
+func (m *Medium) notifyCarrier(ids []NodeID) {
+	for _, id := range ids {
+		ns := &m.nodes[id]
+		ns.listener.CarrierChanged(ns.busy)
+	}
+}

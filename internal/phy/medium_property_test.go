@@ -1,0 +1,148 @@
+package phy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// countingListener tallies callbacks without reacting.
+type countingListener struct {
+	frames  int
+	oks     int
+	carrier int
+}
+
+func (c *countingListener) CarrierChanged(bool) { c.carrier++ }
+func (c *countingListener) FrameReceived(_ *Frame, ok bool, _ *SignatureDetection) {
+	c.frames++
+	if ok {
+		c.oks++
+	}
+}
+
+// TestMediumInvariantsUnderFuzz fires random overlapping transmissions from
+// random nodes and checks the medium's invariants afterwards: carrier sensing
+// settles to idle everywhere, nobody is left transmitting, and every
+// transmission produced exactly one end event (the kernel drains).
+func TestMediumInvariantsUnderFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(6)
+		rss := make([][]float64, n)
+		for i := range rss {
+			rss[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				v := -55 - rng.Float64()*45 // -55..-100 dBm
+				rss[i][j] = v
+				rss[j][i] = v
+			}
+		}
+		k := sim.New(int64(trial))
+		m := NewMedium(k, rss, DefaultConfig())
+		listeners := make([]*countingListener, n)
+		for i := range listeners {
+			listeners[i] = &countingListener{}
+			m.Register(NodeID(i), listeners[i])
+		}
+
+		// Random staggered transmissions; re-draw the sender if it is busy at
+		// fire time (mirrors what a sane MAC does).
+		sent := 0
+		for i := 0; i < 40; i++ {
+			at := sim.Time(rng.Int63n(int64(8 * sim.Millisecond)))
+			src := NodeID(rng.Intn(n))
+			bytes := 64 + rng.Intn(1400)
+			kind := Data
+			if rng.Intn(5) == 0 {
+				kind = Signature
+			}
+			k.At(at, func() {
+				if m.Transmitting(src) {
+					return
+				}
+				sent++
+				f := &Frame{Kind: kind, Dst: Broadcast, Bytes: bytes, Rate: Rate12}
+				if kind == Signature {
+					f.Duration = SignatureDuration
+					f.Payload = &SignaturePayload{Sigs: []int{int(src)}}
+				}
+				m.Transmit(src, f)
+			})
+		}
+		k.Run()
+
+		if m.Transmissions != sent {
+			t.Fatalf("trial %d: %d transmissions recorded, %d sent", trial, m.Transmissions, sent)
+		}
+		for i := 0; i < n; i++ {
+			if m.Transmitting(NodeID(i)) {
+				t.Fatalf("trial %d: node %d still transmitting after drain", trial, i)
+			}
+			if m.Busy(NodeID(i)) {
+				t.Fatalf("trial %d: node %d still senses busy after drain", trial, i)
+			}
+		}
+		// Outcome accounting: delivered + corrupted = all receptions.
+		var frames int
+		for _, l := range listeners {
+			frames += l.frames
+		}
+		if m.Delivered+m.Corrupted != frames {
+			t.Fatalf("trial %d: delivered %d + corrupted %d != callbacks %d",
+				trial, m.Delivered, m.Corrupted, frames)
+		}
+		// Carrier callbacks pair up: every busy has a matching idle.
+		for i, l := range listeners {
+			if l.carrier%2 != 0 {
+				t.Fatalf("trial %d: node %d saw %d carrier transitions (odd)", trial, i, l.carrier)
+			}
+		}
+	}
+}
+
+// TestSignatureDetectionFields checks that the detection detail is populated
+// for signature frames and absent for data frames.
+func TestSignatureDetectionFields(t *testing.T) {
+	k := sim.New(1)
+	m := NewMedium(k, [][]float64{{0, -60}, {-60, 0}}, DefaultConfig())
+	var sigDet, dataDet *SignatureDetection
+	var got int
+	m.Register(1, listenerFunc(func(f *Frame, ok bool, det *SignatureDetection) {
+		got++
+		if f.Kind == Signature {
+			sigDet = det
+		} else {
+			dataDet = det
+		}
+	}))
+	m.Register(0, listenerFunc(func(*Frame, bool, *SignatureDetection) {}))
+	k.At(0, func() {
+		m.Transmit(0, &Frame{Kind: Signature, Dst: Broadcast, Duration: SignatureDuration,
+			Payload: &SignaturePayload{Sigs: []int{1, 2}}})
+	})
+	k.At(sim.Millisecond, func() {
+		m.Transmit(0, &Frame{Kind: Data, Dst: 1, Bytes: 100, Rate: Rate12})
+	})
+	k.Run()
+	if got != 2 {
+		t.Fatalf("callbacks = %d", got)
+	}
+	if sigDet == nil || sigDet.Combined != 2 {
+		t.Errorf("signature detail = %+v", sigDet)
+	}
+	if dataDet != nil {
+		t.Error("data frame carried signature detail")
+	}
+}
+
+// listenerFunc adapts a function to the Listener interface.
+type listenerFunc func(*Frame, bool, *SignatureDetection)
+
+func (f listenerFunc) CarrierChanged(bool) {}
+func (f listenerFunc) FrameReceived(fr *Frame, ok bool, det *SignatureDetection) {
+	f(fr, ok, det)
+}

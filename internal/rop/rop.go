@@ -1,0 +1,98 @@
+// Package rop implements the protocol side of Rapid OFDM Polling (paper
+// §3.1): per-client subchannel assignment at association time and the AP-side
+// decode of one polling round. The physical-layer behaviour (inter-subchannel
+// leakage versus guard width and RSS difference) is measured by internal/ofdm;
+// this package applies the calibrated tolerance — 3 guard subcarriers survive
+// up to a 38 dB RSS difference between adjacent subchannels — as the decode
+// rule, and assigns subchannels so that extreme pairs are never adjacent.
+package rop
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/ofdm"
+	"repro/internal/phy"
+)
+
+// ToleranceDB is the adjacent-subchannel RSS difference the default layout
+// (3 guard subcarriers) tolerates, from the internal/ofdm Fig 6 measurement.
+const ToleranceDB = 38
+
+// MaxClients is the number of subchannels one polling round offers. APs with
+// more clients poll in sets (paper §3.5).
+const MaxClients = 24
+
+// Assignment maps an AP's clients to subchannels.
+type Assignment struct {
+	// Subchannel[i] is the subchannel of client Clients[i].
+	Clients     []phy.NodeID
+	Subchannels []int
+}
+
+// Assign allocates subchannels to the clients of one AP. Clients are sorted
+// by RSS at the AP and placed in that order, so adjacent subchannels carry
+// similar powers and the >38 dB extremes end up far apart — the mitigation
+// the paper prescribes for extreme cases. At most MaxClients are assigned;
+// callers with more clients must poll in sets.
+func Assign(clients []phy.NodeID, rssAtAP func(phy.NodeID) float64) Assignment {
+	if len(clients) > MaxClients {
+		panic("rop: more clients than subchannels; poll in sets")
+	}
+	sorted := append([]phy.NodeID(nil), clients...)
+	sort.SliceStable(sorted, func(a, b int) bool {
+		return rssAtAP(sorted[a]) > rssAtAP(sorted[b])
+	})
+	a := Assignment{Clients: sorted}
+	for i := range sorted {
+		a.Subchannels = append(a.Subchannels, i)
+	}
+	return a
+}
+
+// Subchannel returns the subchannel of a client, or -1 if unassigned.
+func (a Assignment) Subchannel(c phy.NodeID) int {
+	for i, cl := range a.Clients {
+		if cl == c {
+			return a.Subchannels[i]
+		}
+	}
+	return -1
+}
+
+// Result is the outcome of one polling round at the AP.
+type Result struct {
+	// Values holds the decoded (possibly saturated at 63) queue sizes for
+	// clients whose report decoded.
+	Values map[phy.NodeID]int
+	// Failed lists clients whose subchannel was overwhelmed.
+	Failed []phy.NodeID
+}
+
+// Decode evaluates one polling round: every assigned client reports its queue
+// length simultaneously; a client's report fails when an adjacent subchannel
+// carries a signal more than ToleranceDB stronger, or when its own SNR at the
+// AP is below the 4 dB floor. queue gives each client's true backlog; snrAtAP
+// gives the AP-side SNR of each client's report.
+func Decode(a Assignment, queue func(phy.NodeID) int, rssAtAP func(phy.NodeID) float64,
+	noiseDBm float64, rng *rand.Rand) Result {
+	layout := ofdm.DefaultLayout()
+	res := Result{Values: map[phy.NodeID]int{}}
+	for i, c := range a.Clients {
+		ok := rssAtAP(c)-noiseDBm >= 4 // the measured SNR floor (§3.1)
+		for _, j := range []int{i - 1, i + 1} {
+			if j < 0 || j >= len(a.Clients) {
+				continue
+			}
+			if rssAtAP(a.Clients[j])-rssAtAP(c) > ToleranceDB {
+				ok = false
+			}
+		}
+		if !ok {
+			res.Failed = append(res.Failed, c)
+			continue
+		}
+		res.Values[c] = layout.EncodeQueue(queue(c))
+	}
+	return res
+}

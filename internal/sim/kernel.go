@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Event is a scheduled callback. Events are created through Kernel.At and
+// Kernel.After and may be cancelled before they fire. An Event must not be
+// reused after it has fired or been cancelled.
+type Event struct {
+	at        Time
+	seq       uint64 // tie-breaker: FIFO among events at the same instant
+	index     int    // heap index, -1 once popped or cancelled
+	fn        func()
+	cancelled bool
+}
+
+// At returns the instant the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel has been called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Kernel is a single-threaded discrete-event scheduler. The zero value is not
+// usable; construct with New.
+type Kernel struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// New returns a kernel whose clock starts at zero and whose random source is
+// seeded with the given seed. Identical seeds yield identical simulations.
+func New(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand exposes the kernel's deterministic random source. All model components
+// must draw randomness from here (never from the global rand) to preserve
+// reproducibility.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Fired returns the number of events executed so far, a cheap progress and
+// complexity metric for benchmarks.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a protocol-logic bug, and silently reordering time would
+// corrupt every result built on top of the kernel.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic("sim: event scheduled in the past")
+	}
+	e := &Event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (k *Kernel) After(d Time, fn func()) *Event {
+	return k.At(k.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+// Pending events remain queued.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in timestamp order until the queue drains or Stop is
+// called, and returns the final clock value.
+func (k *Kernel) Run() Time { return k.RunUntil(MaxTime) }
+
+// RunUntil executes events with timestamps <= deadline, then sets the clock to
+// the deadline (if the queue drained earlier the clock stays at the last event
+// fired). It returns the final clock value.
+func (k *Kernel) RunUntil(deadline Time) Time {
+	k.stopped = false
+	for k.queue.Len() > 0 && !k.stopped {
+		e := k.queue[0]
+		if e.at > deadline {
+			break
+		}
+		heap.Pop(&k.queue)
+		if e.cancelled {
+			continue
+		}
+		k.now = e.at
+		k.fired++
+		e.fn()
+	}
+	if !k.stopped && deadline != MaxTime && k.now < deadline {
+		k.now = deadline
+	}
+	return k.now
+}
+
+// Pending returns the number of events currently queued, including cancelled
+// events that have not yet been skipped over.
+func (k *Kernel) Pending() int { return k.queue.Len() }
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}

@@ -1,0 +1,276 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1e9*Nanosecond {
+		t.Fatalf("Second = %d ns", int64(Second))
+	}
+	if Micros(9) != 9*Microsecond {
+		t.Fatalf("Micros(9) = %v", Micros(9))
+	}
+	if Micros(6.35) != Time(6350) {
+		t.Fatalf("Micros(6.35) = %d", int64(Micros(6.35)))
+	}
+	if Millis(125.1) != Time(125_100_000) {
+		t.Fatalf("Millis(125.1) = %d", int64(Millis(125.1)))
+	}
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Fatalf("Seconds = %v", got)
+	}
+	if got := (9 * Microsecond).Microseconds(); got != 9.0 {
+		t.Fatalf("Microseconds = %v", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{9 * Microsecond, "9µs"},
+		{Millis(1.25), "1.25ms"},
+		{3 * Second, "3s"},
+		{MaxTime, "never"},
+		{-9 * Microsecond, "-9µs"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	k := New(1)
+	var order []int
+	k.At(30*Microsecond, func() { order = append(order, 3) })
+	k.At(10*Microsecond, func() { order = append(order, 1) })
+	k.At(20*Microsecond, func() { order = append(order, 2) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if k.Now() != 30*Microsecond {
+		t.Fatalf("final clock = %v", k.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	k := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5*Microsecond, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := New(1)
+	fired := false
+	e := k.At(Microsecond, func() { fired = true })
+	e.Cancel()
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	k.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	k := New(1)
+	fired := false
+	e := k.At(2*Microsecond, func() { fired = true })
+	k.At(Microsecond, func() { e.Cancel() })
+	k.Run()
+	if fired {
+		t.Fatal("event fired despite cancellation at an earlier instant")
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	k := New(1)
+	var at []Time
+	k.After(10*Microsecond, func() {
+		at = append(at, k.Now())
+		k.After(5*Microsecond, func() { at = append(at, k.Now()) })
+	})
+	k.Run()
+	if len(at) != 2 || at[0] != 10*Microsecond || at[1] != 15*Microsecond {
+		t.Fatalf("at = %v", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New(1)
+	var fired []Time
+	for _, d := range []Time{Microsecond, 2 * Microsecond, 3 * Microsecond} {
+		d := d
+		k.At(d, func() { fired = append(fired, d) })
+	}
+	k.RunUntil(2 * Microsecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if k.Now() != 2*Microsecond {
+		t.Fatalf("clock = %v", k.Now())
+	}
+	k.RunUntil(10 * Microsecond)
+	if len(fired) != 3 {
+		t.Fatalf("fired after resume = %v", fired)
+	}
+	if k.Now() != 10*Microsecond {
+		t.Fatalf("clock advanced to %v, want deadline", k.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := New(1)
+	count := 0
+	for i := 1; i <= 5; i++ {
+		k.At(Time(i)*Microsecond, func() {
+			count++
+			if count == 2 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if count != 2 {
+		t.Fatalf("count = %d after Stop", count)
+	}
+	if k.Pending() != 3 {
+		t.Fatalf("pending = %d", k.Pending())
+	}
+	// Run resumes after a Stop.
+	k.Run()
+	if count != 5 {
+		t.Fatalf("count after resume = %d", count)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	k := New(1)
+	k.At(10*Microsecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(5*Microsecond, func() {})
+	})
+	k.Run()
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		k := New(seed)
+		var draws []int64
+		var step func()
+		step = func() {
+			draws = append(draws, k.Rand().Int63n(1000))
+			if len(draws) < 50 {
+				k.After(Time(1+k.Rand().Int63n(100))*Microsecond, step)
+			}
+		}
+		k.After(Microsecond, step)
+		k.Run()
+		return draws
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical draws")
+	}
+}
+
+// Property: for any set of (time, id) pairs, the kernel fires them in
+// non-decreasing time order and fires every non-cancelled one exactly once.
+func TestQuickOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) > 500 {
+			delays = delays[:500]
+		}
+		k := New(7)
+		var fired []Time
+		for _, d := range delays {
+			d := Time(d) * Microsecond
+			k.At(d, func() { fired = append(fired, d) })
+		}
+		k.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		want := make([]Time, len(delays))
+		for i, d := range delays {
+			want[i] = Time(d) * Microsecond
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	k := New(1)
+	for i := 0; i < 10; i++ {
+		k.At(Time(i)*Microsecond, func() {})
+	}
+	e := k.At(20*Microsecond, func() {})
+	e.Cancel()
+	k.Run()
+	if k.Fired() != 10 {
+		t.Fatalf("Fired = %d, want 10 (cancelled events do not count)", k.Fired())
+	}
+}
+
+func BenchmarkKernelChurn(b *testing.B) {
+	k := New(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			k.After(Microsecond, tick)
+		}
+	}
+	k.After(Microsecond, tick)
+	b.ResetTimer()
+	k.Run()
+}

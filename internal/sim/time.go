@@ -1,0 +1,74 @@
+// Package sim provides a deterministic discrete-event simulation kernel used
+// by every protocol engine in this repository. Time advances only when events
+// fire; all randomness flows from a single seeded source so that every
+// experiment is reproducible bit-for-bit from its seed.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a simulated instant or duration in integer nanoseconds.
+//
+// Wireless MAC protocols are specified in microseconds (a WiFi slot is 9 µs),
+// but sub-microsecond arithmetic shows up when modelling propagation delay and
+// clock misalignment, so the kernel keeps nanosecond resolution throughout.
+type Time int64
+
+// Common duration units, usable as multipliers: 3 * sim.Microsecond.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable instant, used as an "never" sentinel.
+const MaxTime Time = math.MaxInt64
+
+// Micros converts a floating-point microsecond count to a Time, rounding to
+// the nearest nanosecond. It is the usual way to import protocol constants
+// that the 802.11 standard states in microseconds.
+func Micros(us float64) Time {
+	return Time(math.Round(us * 1e3))
+}
+
+// Millis converts a floating-point millisecond count to a Time.
+func Millis(ms float64) Time {
+	return Time(math.Round(ms * 1e6))
+}
+
+// Seconds returns the duration in seconds as a float64.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Microseconds returns the duration in microseconds as a float64.
+func (t Time) Microseconds() float64 { return float64(t) / 1e3 }
+
+// Milliseconds returns the duration in milliseconds as a float64.
+func (t Time) Milliseconds() float64 { return float64(t) / 1e6 }
+
+// String renders the time with an adaptive unit, e.g. "9µs" or "1.25ms".
+func (t Time) String() string {
+	switch {
+	case t == MaxTime:
+		return "never"
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return trimZero(t.Microseconds(), "µs")
+	case t < Second:
+		return trimZero(t.Milliseconds(), "ms")
+	default:
+		return trimZero(t.Seconds(), "s")
+	}
+}
+
+func trimZero(v float64, unit string) string {
+	if v == math.Trunc(v) {
+		return fmt.Sprintf("%d%s", int64(v), unit)
+	}
+	return fmt.Sprintf("%.3g%s", v, unit)
+}

@@ -1,0 +1,210 @@
+package topo
+
+import (
+	"math"
+
+	"repro/internal/phy"
+)
+
+// ConflictGraph is the link-interference graph G(V,E) the central server
+// derives from the interference map (paper §3): vertices are links, an edge
+// means the two links cannot transmit concurrently. Independent sets of the
+// graph may share a slot.
+type ConflictGraph struct {
+	Net   *Network
+	Links []*Link
+	cfg   phy.Config
+	rate  phy.Rate
+	adj   [][]bool
+}
+
+// NewConflictGraph computes the conflict graph for the given links at the
+// given data rate: two links conflict when they share a node or when their
+// concurrent exchanges interfere. An exchange is bidirectional — data from
+// the sender plus the link-layer ACK from the receiver — so the test covers
+// data-vs-data, data-vs-ACK (slots can be misaligned by tens of µs while
+// relative scheduling converges) and ACK-vs-ACK corruption.
+func NewConflictGraph(net *Network, links []*Link, cfg phy.Config, rate phy.Rate) *ConflictGraph {
+	g := &ConflictGraph{Net: net, Links: links, cfg: cfg, rate: rate}
+	n := len(links)
+	g.adj = make([][]bool, n)
+	for i := range g.adj {
+		g.adj[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c := links[i].Shares(links[j]) ||
+				g.corrupts(links[i], links[j]) || g.corrupts(links[j], links[i])
+			g.adj[i][j] = c
+			g.adj[j][i] = c
+		}
+	}
+	return g
+}
+
+// corrupts reports whether link a's exchange breaks any part of link b's:
+// a's data or ACK transmission corrupting b's data reception (at b.Receiver)
+// or b's ACK reception (at b.Sender).
+func (g *ConflictGraph) corrupts(a, b *Link) bool {
+	for _, interferer := range []phy.NodeID{a.Sender, a.Receiver} {
+		if g.breaks(interferer, b.Sender, b.Receiver) || // b's data
+			g.breaks(interferer, b.Receiver, b.Sender) { // b's ACK
+			return true
+		}
+	}
+	return false
+}
+
+// ConflictMarginDB is the scheduling safety margin: concurrency requires the
+// pairwise SINR to clear the decode threshold by this much. The conflict
+// graph is pairwise, but a slot may hold several concurrent exchanges whose
+// interference adds; the margin absorbs the aggregate of a few comparable
+// interferers (3 dB covers two equal ones, and weaker tails).
+const ConflictMarginDB = 3
+
+// breaks reports whether a transmission from interferer drags the src→dst
+// SINR below the rate threshold plus the scheduling margin.
+func (g *ConflictGraph) breaks(interferer, src, dst phy.NodeID) bool {
+	if interferer == src || interferer == dst {
+		return false // shared-node conflicts are handled separately
+	}
+	signal := g.Net.RSS[src][dst]
+	interfMw := phy.DBmToMw(g.Net.RSS[interferer][dst]) + phy.DBmToMw(g.cfg.NoiseDBm)
+	sinr := signal - phy.MwToDBm(interfMw)
+	return sinr < phy.SNRThresholdDB(g.rate)+ConflictMarginDB
+}
+
+// Rate returns the data rate the graph was computed for.
+func (g *ConflictGraph) Rate() phy.Rate { return g.rate }
+
+// Conflicts reports whether links a and b (by ID) may not share a slot.
+func (g *ConflictGraph) Conflicts(a, b int) bool { return g.adj[a][b] }
+
+// Degree returns the number of links conflicting with link id.
+func (g *ConflictGraph) Degree(id int) int {
+	d := 0
+	for _, c := range g.adj[id] {
+		if c {
+			d++
+		}
+	}
+	return d
+}
+
+// SendersHear reports whether the two links' senders are within carrier-sense
+// range of each other (in either direction — carrier sensing is energy
+// detection, so the stronger direction governs).
+func (g *ConflictGraph) SendersHear(a, b int) bool {
+	la, lb := g.Links[a], g.Links[b]
+	return g.Net.RSS[la.Sender][lb.Sender] >= g.cfg.CSThreshDBm ||
+		g.Net.RSS[lb.Sender][la.Sender] >= g.cfg.CSThreshDBm
+}
+
+// Hidden reports whether links a and b form a hidden pair: they conflict but
+// their senders cannot sense each other, so DCF collides them.
+func (g *ConflictGraph) Hidden(a, b int) bool {
+	if a == b || g.Links[a].Shares(g.Links[b]) {
+		return false
+	}
+	return g.adj[a][b] && !g.SendersHear(a, b)
+}
+
+// Exposed reports whether links a and b form an exposed pair: they could
+// transmit concurrently, but their senders sense each other, so DCF
+// serialises them needlessly.
+func (g *ConflictGraph) Exposed(a, b int) bool {
+	if a == b || g.Links[a].Shares(g.Links[b]) {
+		return false
+	}
+	return !g.adj[a][b] && g.SendersHear(a, b)
+}
+
+// CountHiddenExposed tallies hidden and exposed pairs over all unordered link
+// pairs, the statistic the paper reports for T(10,2) ("10 hidden link pairs
+// and 62 exposed link pairs out of 720 possible link pairs").
+func (g *ConflictGraph) CountHiddenExposed() (hidden, exposed, total int) {
+	n := len(g.Links)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			total++
+			if g.Hidden(i, j) {
+				hidden++
+			}
+			if g.Exposed(i, j) {
+				exposed++
+			}
+		}
+	}
+	return
+}
+
+// TriggerFloorDBm is the weakest RSS at which the server plans a signature
+// trigger. The 127-chip Gold correlator works ~21 dB below the data decode
+// threshold, but the planner stays conservative and requires the signature to
+// arrive above the noise floor with margin.
+const TriggerFloorDBm = -90
+
+// CanTriggerNode reports whether link l can trigger node n: the signature
+// sent by l's sender or receiver reaches n (paper §3.3 definition).
+func (g *ConflictGraph) CanTriggerNode(l *Link, n phy.NodeID) bool {
+	if l.Sender == n || l.Receiver == n {
+		return true
+	}
+	return g.Net.RSS[l.Sender][n] >= TriggerFloorDBm ||
+		g.Net.RSS[l.Receiver][n] >= TriggerFloorDBm
+}
+
+// CanTrigger reports whether link a can trigger link b, i.e. can trigger b's
+// sender.
+func (g *ConflictGraph) CanTrigger(a, b *Link) bool {
+	return g.CanTriggerNode(a, b.Sender)
+}
+
+// TriggerSNR returns the better of the two signature paths (sender→n,
+// receiver→n) in dB above noise, used to rank candidate triggers ("select one
+// node n in si such that n has the highest SNR at l.sender").
+func (g *ConflictGraph) TriggerSNR(l *Link, n phy.NodeID) float64 {
+	s := g.Net.RSS[l.Sender][n]
+	r := g.Net.RSS[l.Receiver][n]
+	return math.Max(s, r) - g.cfg.NoiseDBm
+}
+
+// APConflict reports whether any link of ap1 conflicts with any link of ap2,
+// the condition under which two APs may NOT share an ROP slot (paper §3.3).
+func (g *ConflictGraph) APConflict(ap1, ap2 phy.NodeID) bool {
+	for i, li := range g.Links {
+		if li.AP != ap1 {
+			continue
+		}
+		for j, lj := range g.Links {
+			if lj.AP != ap2 {
+				continue
+			}
+			if g.adj[i][j] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MaximalIndependentSet greedily grows an independent set containing the seed
+// links (which must themselves be independent), considering candidates in the
+// given order. It returns link IDs. This implements both the RAND scheduler's
+// slot construction and the converter's fake-link maximal cover.
+func (g *ConflictGraph) MaximalIndependentSet(seed []int, order []int) []int {
+	set := append([]int(nil), seed...)
+	for _, cand := range order {
+		ok := true
+		for _, s := range set {
+			if cand == s || g.adj[cand][s] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			set = append(set, cand)
+		}
+	}
+	return set
+}

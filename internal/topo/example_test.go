@@ -1,0 +1,28 @@
+package topo_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/phy"
+	"repro/internal/topo"
+)
+
+// ExampleBuildT selects the paper's default T(10,2) enterprise topology from
+// the synthetic campus trace and classifies its link pairs.
+func ExampleBuildT() {
+	tr := topo.CampusTrace(7)
+	rng := rand.New(rand.NewSource(3))
+	net, err := topo.BuildT(tr, 10, 2, phy.DefaultConfig(), phy.Rate12, rng)
+	if err != nil {
+		panic(err)
+	}
+	links := net.BuildLinks(true, true)
+	g := topo.NewConflictGraph(net, links, phy.DefaultConfig(), phy.Rate12)
+	hidden, exposed, total := g.CountHiddenExposed()
+	fmt.Printf("nodes: %d, links: %d\n", net.NumNodes(), len(links))
+	fmt.Printf("hidden and exposed pairs exist: %v %v (of %d)\n", hidden > 0, exposed > 0, total)
+	// Output:
+	// nodes: 30, links: 40
+	// hidden and exposed pairs exist: true true (of 780)
+}

@@ -1,0 +1,236 @@
+package topo
+
+import "repro/internal/phy"
+
+// This file hand-specifies the small topologies the paper draws as figures.
+// RSS values are chosen so that, under the default phy configuration
+// (noise -94 dBm, carrier-sense threshold -85 dBm, 12 Mbps threshold 7 dB),
+// the hidden/exposed/conflict relations stated in the paper hold; the topo
+// tests assert each relation explicitly.
+//
+// Levels used:
+//
+//	-60 dBm  AP–client link (strong)
+//	-64 dBm  corrupting interference (drags a -60 dBm signal to ~4 dB SINR)
+//	-75 dBm  carrier-sense coupling between senders: well above the -85 dBm
+//	         CS threshold, yet ~15 dB below the signal so exchanges stay
+//	         decodable (with margin) even when three or four such couplings
+//	         interfere at once
+//	-80 dBm  trigger-only reachability (senses, detects signatures, does not
+//	         corrupt a -60 dBm signal)
+//	-95 dBm  out of range (below noise floor)
+const (
+	lvlLink    = -60
+	lvlCorrupt = -64
+	lvlSense   = -75
+	lvlTrigger = -80
+	lvlFar     = -95
+)
+
+type rssEntry struct {
+	a, b int
+	dbm  float64
+}
+
+// symRSS builds a symmetric matrix with the given default off-diagonal level
+// and explicit overrides.
+func symRSS(n int, def float64, entries ...rssEntry) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = def
+			}
+		}
+	}
+	for _, e := range entries {
+		m[e.a][e.b] = e.dbm
+		m[e.b][e.a] = e.dbm
+	}
+	return m
+}
+
+// pairNetwork builds a Network of numPairs AP–client pairs where node 2i is
+// AP_i and node 2i+1 is its client C_i, over the given RSS matrix.
+func pairNetwork(numPairs int, rss [][]float64) *Network {
+	n := &Network{RSS: rss}
+	for i := 0; i < numPairs; i++ {
+		ap := phy.NodeID(2 * i)
+		n.IsAP = append(n.IsAP, true, false)
+		n.APOf = append(n.APOf, ap, ap)
+		n.APs = append(n.APs, ap)
+	}
+	return n
+}
+
+// Figure1 is the motivating 3-pair network of paper Fig 1: AP1 and AP3 are
+// hidden terminals (AP1's transmissions corrupt C3), while C2 and AP1 are
+// exposed to each other. Node IDs: AP1=0 C1=1 AP2=2 C2=3 AP3=4 C3=5. The
+// evaluated flows are AP1→C1 (down), C2→AP2 (up), AP3→C3 (down).
+func Figure1() *Network {
+	const (
+		ap1, c1, ap2, c2, ap3, c3 = 0, 1, 2, 3, 4, 5
+	)
+	rss := symRSS(6, lvlFar,
+		rssEntry{ap1, c1, lvlLink},
+		rssEntry{ap2, c2, lvlLink},
+		rssEntry{ap3, c3, lvlLink},
+		// C2 and AP1 hear each other (exposed pair) but do not corrupt each
+		// other's receivers.
+		rssEntry{ap1, c2, lvlSense},
+		rssEntry{ap1, ap2, lvlSense},
+		rssEntry{c2, c1, lvlTrigger},
+		// AP1 corrupts C3; AP3 barely registers at C1. AP1 and AP3 stay out
+		// of carrier-sense range: the hidden pair.
+		rssEntry{ap1, c3, lvlCorrupt},
+		rssEntry{ap3, c1, -90},
+	)
+	return pairNetwork(3, rss)
+}
+
+// Figure1Links returns the three flows of Fig 1 in presentation order:
+// AP1→C1, C2→AP2, AP3→C3.
+func Figure1Links(n *Network) []*Link {
+	links := []*Link{
+		{Sender: 0, Receiver: 1, AP: 0, Downlink: true},
+		{Sender: 3, Receiver: 2, AP: 2, Downlink: false},
+		{Sender: 4, Receiver: 5, AP: 4, Downlink: true},
+	}
+	for i, l := range links {
+		l.ID = i
+	}
+	return links
+}
+
+// Figure7 is the 4-pair network of paper Fig 7 used for the relative-
+// scheduling walk-through and the Fig 10 microscope timeline. Node IDs:
+// AP1=0 C1=1 AP2=2 C2=3 AP3=4 C3=5 AP4=6 C4=7.
+//
+// Relations built in:
+//   - AP1→C1 conflicts with AP2→C2 (senders hear each other),
+//     C1→AP1 conflicts with C2→AP2 (hidden: C1, C2 out of range).
+//   - AP3→C3 conflicts with AP4→C4 and AP3/AP4 are hidden terminals.
+//   - AP2 and AP3 both reach AP1 (their signals collide at AP1, §3.2).
+//   - Chains {AP1,AP2} and {AP3,AP4} do not conflict across, so slots pair
+//     one link from each chain, as in Fig 7(c).
+//   - Trigger-only reachability (-80 dBm) ties neighbouring pairs together
+//     so the converter can build cross-chain backup triggers.
+func Figure7() *Network {
+	const (
+		ap1, c1, ap2, c2, ap3, c3, ap4, c4 = 0, 1, 2, 3, 4, 5, 6, 7
+	)
+	rss := symRSS(8, lvlFar,
+		rssEntry{ap1, c1, lvlLink},
+		rssEntry{ap2, c2, lvlLink},
+		rssEntry{ap3, c3, lvlLink},
+		rssEntry{ap4, c4, lvlLink},
+		// Pair 1–2: mutual conflict with carrier sense between APs.
+		rssEntry{ap1, ap2, lvlSense},
+		rssEntry{ap2, c1, lvlCorrupt},
+		rssEntry{ap1, c2, lvlCorrupt},
+		// Uplink conflict, hidden at the clients: C2 corrupts at AP1, C1
+		// corrupts at AP2, C1/C2 cannot hear each other (default far).
+		rssEntry{c2, ap1, lvlCorrupt},
+		rssEntry{c1, ap2, lvlCorrupt},
+		// Pair 3–4: hidden terminals. APs out of range of each other but
+		// each corrupts the other's client.
+		rssEntry{ap3, c4, lvlCorrupt},
+		rssEntry{ap4, c3, lvlCorrupt},
+		rssEntry{c3, ap4, lvlCorrupt},
+		rssEntry{c4, ap3, lvlTrigger},
+		// AP2 and AP3 both reach AP1 (collision of their signals at AP1).
+		rssEntry{ap3, ap1, lvlSense},
+		// Trigger connectivity between the two chains.
+		rssEntry{ap2, ap3, lvlTrigger},
+		rssEntry{c2, ap3, lvlTrigger},
+		rssEntry{c2, c3, lvlTrigger},
+		rssEntry{c1, c4, lvlTrigger},
+		rssEntry{ap1, ap4, lvlTrigger},
+	)
+	return pairNetwork(4, rss)
+}
+
+// Figure13a is the topology of paper Fig 13(a): four AP–client links all
+// mutually exposed — every AP senses every other AP, no link conflicts with
+// any other. CENTAUR and DOMINO both schedule all four concurrently.
+func Figure13a() *Network {
+	rss := symRSS(8, lvlFar,
+		rssEntry{0, 1, lvlLink}, rssEntry{2, 3, lvlLink},
+		rssEntry{4, 5, lvlLink}, rssEntry{6, 7, lvlLink},
+		// All APs within carrier-sense range of each other.
+		rssEntry{0, 2, lvlSense}, rssEntry{0, 4, lvlSense}, rssEntry{0, 6, lvlSense},
+		rssEntry{2, 4, lvlSense}, rssEntry{2, 6, lvlSense}, rssEntry{4, 6, lvlSense},
+	)
+	return pairNetwork(4, rss)
+}
+
+// Figure13b is the topology of paper Fig 13(b): AP1, AP2, AP3 are out of
+// range of each other, but each shares an exposed relationship with AP4. No
+// links conflict, yet CENTAUR's carrier-sense batch alignment collapses:
+// AP1–AP3 finish their batch early while AP4 defers to all of them, and the
+// next batch cannot start until AP4 drains (paper §4.2.3).
+func Figure13b() *Network {
+	rss := symRSS(8, lvlFar,
+		rssEntry{0, 1, lvlLink}, rssEntry{2, 3, lvlLink},
+		rssEntry{4, 5, lvlLink}, rssEntry{6, 7, lvlLink},
+		// Only AP4 (node 6) senses the others.
+		rssEntry{0, 6, lvlSense}, rssEntry{2, 6, lvlSense}, rssEntry{4, 6, lvlSense},
+	)
+	return pairNetwork(4, rss)
+}
+
+// TwoPairScenario identifies the three USRP prototype placements of paper
+// Table 2.
+type TwoPairScenario int
+
+const (
+	// SameContention: both links in one contention domain, neither hidden
+	// nor exposed (they genuinely conflict and sense each other).
+	SameContention TwoPairScenario = iota
+	// HiddenTerminals: the links conflict but the senders cannot sense each
+	// other.
+	HiddenTerminals
+	// ExposedTerminals: the links do not conflict but the senders sense each
+	// other.
+	ExposedTerminals
+)
+
+// String names the scenario as the paper's column heading.
+func (s TwoPairScenario) String() string {
+	switch s {
+	case SameContention:
+		return "SC"
+	case HiddenTerminals:
+		return "HT"
+	case ExposedTerminals:
+		return "ET"
+	default:
+		return "?"
+	}
+}
+
+// TwoPairs builds the 2-link topology for one Table 2 scenario. Node IDs:
+// AP1=0 C1=1 AP2=2 C2=3; flows AP1→C1 and AP2→C2.
+func TwoPairs(s TwoPairScenario) *Network {
+	base := []rssEntry{{0, 1, lvlLink}, {2, 3, lvlLink}}
+	var extra []rssEntry
+	switch s {
+	case SameContention:
+		// Everything hears everything: one contention domain, links conflict.
+		extra = []rssEntry{
+			{0, 2, lvlSense}, {0, 3, lvlCorrupt}, {1, 2, lvlCorrupt}, {1, 3, lvlSense},
+		}
+	case HiddenTerminals:
+		// Senders out of range; each corrupts the other's receiver.
+		extra = []rssEntry{
+			{0, 3, lvlCorrupt}, {2, 1, lvlCorrupt},
+		}
+	case ExposedTerminals:
+		// Senders sense each other; receivers are clear.
+		extra = []rssEntry{
+			{0, 2, lvlSense},
+		}
+	}
+	return pairNetwork(2, symRSS(4, lvlFar, append(base, extra...)...))
+}

@@ -1,0 +1,56 @@
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// traceJSON is the on-disk form of a Trace: a dense RSS matrix in dBm plus
+// optional positions in metres. Real measured interference maps (the paper's
+// 40-node testbed trace) can be imported this way.
+type traceJSON struct {
+	RSS [][]float64 `json:"rss_dbm"`
+	Pos []Point     `json:"pos_m,omitempty"`
+}
+
+// WriteJSON serialises the trace.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceJSON{RSS: t.RSS, Pos: t.Pos})
+}
+
+// ReadTraceJSON parses a trace and validates its shape: a square, symmetric
+// (within 0.5 dB) matrix with plausible dBm values.
+func ReadTraceJSON(r io.Reader) (*Trace, error) {
+	var tj traceJSON
+	if err := json.NewDecoder(r).Decode(&tj); err != nil {
+		return nil, fmt.Errorf("topo: parsing trace: %w", err)
+	}
+	n := len(tj.RSS)
+	if n == 0 {
+		return nil, fmt.Errorf("topo: empty trace")
+	}
+	for i, row := range tj.RSS {
+		if len(row) != n {
+			return nil, fmt.Errorf("topo: trace row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := tj.RSS[i][j] - tj.RSS[j][i]
+			if d > 0.5 || d < -0.5 {
+				return nil, fmt.Errorf("topo: trace asymmetric at (%d,%d): %.1f vs %.1f",
+					i, j, tj.RSS[i][j], tj.RSS[j][i])
+			}
+			if tj.RSS[i][j] > 0 || tj.RSS[i][j] < -200 {
+				return nil, fmt.Errorf("topo: implausible RSS %.1f dBm at (%d,%d)", tj.RSS[i][j], i, j)
+			}
+		}
+	}
+	if tj.Pos != nil && len(tj.Pos) != n {
+		return nil, fmt.Errorf("topo: %d positions for %d nodes", len(tj.Pos), n)
+	}
+	return &Trace{RSS: tj.RSS, Pos: tj.Pos}, nil
+}

@@ -1,0 +1,49 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceJSONRoundtrip(t *testing.T) {
+	tr := CampusTrace(3)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.RSS) != len(tr.RSS) || len(got.Pos) != len(tr.Pos) {
+		t.Fatalf("shape changed: %d/%d", len(got.RSS), len(got.Pos))
+	}
+	for i := range tr.RSS {
+		for j := range tr.RSS[i] {
+			if got.RSS[i][j] != tr.RSS[i][j] {
+				t.Fatalf("RSS[%d][%d] changed", i, j)
+			}
+		}
+	}
+}
+
+func TestTraceJSONValidation(t *testing.T) {
+	cases := map[string]string{
+		"empty":       `{"rss_dbm": []}`,
+		"ragged":      `{"rss_dbm": [[0,-60],[-60]]}`,
+		"asymmetric":  `{"rss_dbm": [[0,-60],[-70,0]]}`,
+		"implausible": `{"rss_dbm": [[0,42],[42,0]]}`,
+		"posMismatch": `{"rss_dbm": [[0,-60],[-60,0]], "pos_m": [{"X":0,"Y":0}]}`,
+		"garbage":     `not json`,
+	}
+	for name, in := range cases {
+		if _, err := ReadTraceJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted invalid trace", name)
+		}
+	}
+	ok := `{"rss_dbm": [[0,-60],[-60,0]]}`
+	if _, err := ReadTraceJSON(strings.NewReader(ok)); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+}

@@ -1,0 +1,113 @@
+// Package traffic generates the workloads of the evaluation: constant-bit-rate
+// UDP, saturated (always-backlogged) sources, and a Reno-style TCP model whose
+// acknowledgements travel as MAC packets on the reverse link — the detail that
+// caps DOMINO's TCP gain in the paper (§4.2.3: a TCP ACK occupies a whole
+// slot).
+package traffic
+
+import (
+	"repro/internal/mac"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Source drives packets into an engine once started.
+type Source interface {
+	Start()
+}
+
+// UDP is a constant-bit-rate source on one link.
+type UDP struct {
+	k        *sim.Kernel
+	engine   mac.Engine
+	link     *topo.Link
+	rateMbps float64
+	bytes    int
+	seq      uint64
+}
+
+// NewUDP creates a CBR source pushing bytes-sized packets at rateMbps on the
+// link. A non-positive rate produces no traffic.
+func NewUDP(k *sim.Kernel, e mac.Engine, link *topo.Link, rateMbps float64, bytes int) *UDP {
+	return &UDP{k: k, engine: e, link: link, rateMbps: rateMbps, bytes: bytes}
+}
+
+// Start schedules the first arrival at a random phase within one interval so
+// sources across links do not arrive in lock-step.
+func (u *UDP) Start() {
+	if u.rateMbps <= 0 {
+		return
+	}
+	interval := u.interval()
+	phase := sim.Time(u.k.Rand().Int63n(int64(interval) + 1))
+	u.k.After(phase, u.emit)
+}
+
+func (u *UDP) interval() sim.Time {
+	return sim.Time(float64(u.bytes*8) / (u.rateMbps * 1e6) * 1e9)
+}
+
+func (u *UDP) emit() {
+	u.engine.Enqueue(&mac.Packet{
+		Link:     u.link,
+		Bytes:    u.bytes,
+		Enqueued: u.k.Now(),
+		Seq:      u.seq,
+		FlowID:   -1,
+	})
+	u.seq++
+	u.k.After(u.interval(), u.emit)
+}
+
+// Saturated keeps a link's MAC queue topped up to a target depth: it refills
+// one packet for every delivery or drop on its link. Add it to the engine's
+// event mux so it observes outcomes.
+type Saturated struct {
+	k      *sim.Kernel
+	engine mac.Engine
+	link   *topo.Link
+	bytes  int
+	depth  int
+	seq    uint64
+}
+
+// NewSaturated creates an always-backlogged source holding depth packets
+// (0 means 8) of the given size in the link's queue.
+func NewSaturated(k *sim.Kernel, e mac.Engine, link *topo.Link, bytes, depth int) *Saturated {
+	if depth <= 0 {
+		depth = 8
+	}
+	return &Saturated{k: k, engine: e, link: link, bytes: bytes, depth: depth}
+}
+
+// Start fills the queue to the target depth.
+func (s *Saturated) Start() {
+	for i := 0; i < s.depth; i++ {
+		s.push()
+	}
+}
+
+func (s *Saturated) push() {
+	s.engine.Enqueue(&mac.Packet{
+		Link:     s.link,
+		Bytes:    s.bytes,
+		Enqueued: s.k.Now(),
+		Seq:      s.seq,
+		FlowID:   -1,
+	})
+	s.seq++
+}
+
+// Delivered implements mac.Events: one out, one in.
+func (s *Saturated) Delivered(p *mac.Packet, _ sim.Time) {
+	if p.Link == s.link {
+		s.push()
+	}
+}
+
+// Dropped implements mac.Events.
+func (s *Saturated) Dropped(p *mac.Packet, _ sim.Time) {
+	if p.Link == s.link {
+		s.push()
+	}
+}

@@ -1,0 +1,30 @@
+# Repo verification and perf-tracking targets. `make ci` is the gate every
+# change must pass; the race target is the correctness backstop for the
+# parallel experiment harness (internal/parallel and everything fanned out
+# through it).
+
+GO ?= go
+
+.PHONY: ci vet build test race bench benchreport
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# Full benchmark sweep (one iteration per table/figure; laptop-minutes).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Refresh BENCH_parallel.json: harness speedup + correlator hot-path numbers.
+benchreport:
+	$(GO) run ./cmd/benchreport

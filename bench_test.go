@@ -243,6 +243,78 @@ func BenchmarkLightLoad(b *testing.B) {
 	b.ReportMetric(ratio, "delay-ratio")
 }
 
+// --- Parallel harness benches: serial vs all-cores on the fan-out drivers ---
+
+// BenchmarkFig14Workers runs the Fig 14 Monte Carlo serially and across all
+// cores. The results are bit-identical (per-run derived seeds, ordered CDF
+// merge); only the wall clock should differ. cmd/benchreport records the
+// speedup in BENCH_parallel.json.
+func BenchmarkFig14Workers(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "allcores"
+		}
+		b.Run(name, func(b *testing.B) {
+			var median float64
+			for i := 0; i < b.N; i++ {
+				o := benchOpts(1)
+				o.Runs = 4
+				o.Workers = workers
+				r := exp.Fig14(o)
+				if r.Gains.N() > 0 {
+					median = r.Gains.Quantile(0.5)
+				}
+			}
+			b.ReportMetric(median, "median-gain")
+		})
+	}
+}
+
+// BenchmarkFig9Workers runs the chip-level detection grid serially and
+// across all cores.
+func BenchmarkFig9Workers(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "allcores"
+		}
+		b.Run(name, func(b *testing.B) {
+			var det4 float64
+			for i := 0; i < b.N; i++ {
+				o := benchOpts(1)
+				o.Workers = workers
+				r := exp.Fig9(o)
+				det4 = r.Detected[0][3]
+			}
+			b.ReportMetric(det4, "detect@4")
+		})
+	}
+}
+
+// BenchmarkDetectionCurveWorkers shards the detection-curve Monte Carlo
+// (the table phy.DefaultDetector encodes) serially and across all cores.
+func BenchmarkDetectionCurveWorkers(b *testing.B) {
+	set, err := gold.NewSet(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "allcores"
+		}
+		b.Run(name, func(b *testing.B) {
+			var at4 float64
+			for i := 0; i < b.N; i++ {
+				curve := gold.MeasureDetectionCurve(set, 7, 200, 10, int64(i+1), workers)
+				at4 = curve[4]
+			}
+			b.ReportMetric(at4, "detect@4")
+		})
+	}
+}
+
 // --- Ablation benches: the design choices DESIGN.md calls out ---
 
 // BenchmarkAblationSignatureLength compares Gold-set generation plus one

@@ -1,0 +1,177 @@
+// Command benchreport measures the parallel experiment harness against the
+// serial baseline and the correlator hot path, and writes the results as
+// machine-readable JSON (BENCH_parallel.json at the repo root), so the perf
+// trajectory is tracked commit over commit.
+//
+// Usage:
+//
+//	go run ./cmd/benchreport                     # defaults, writes BENCH_parallel.json
+//	go run ./cmd/benchreport -runs 16 -duration 2s -out /tmp/bench.json
+//
+// The wall-clock comparisons run each driver twice — workers=1 and
+// workers=GOMAXPROCS — on the same seed; the outputs are asserted identical
+// (the harness's determinism contract) before the timing is reported.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/gold"
+	"repro/internal/sim"
+)
+
+type wallClock struct {
+	SerialSec   float64 `json:"serial_sec"`
+	ParallelSec float64 `json:"parallel_sec"`
+	Speedup     float64 `json:"speedup"`
+}
+
+type microBench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type report struct {
+	GoMaxProcs     int        `json:"gomaxprocs"`
+	NumCPU         int        `json:"num_cpu"`
+	Fig14Runs      int        `json:"fig14_runs"`
+	Fig14Duration  string     `json:"fig14_duration"`
+	CurveTrials    int        `json:"curve_trials"`
+	Fig14          wallClock  `json:"fig14"`
+	DetectionCurve wallClock  `json:"detection_curve"`
+	Metric         microBench `json:"correlator_metric"`
+	Detect         microBench `json:"correlator_detect"`
+	AddShifted     microBench `json:"add_shifted"`
+	DetectionTrial microBench `json:"detection_trial_per_trial"`
+}
+
+func micro(b testing.BenchmarkResult) microBench {
+	return microBench{
+		NsPerOp:     float64(b.T.Nanoseconds()) / float64(b.N),
+		AllocsPerOp: b.AllocsPerOp(),
+		BytesPerOp:  b.AllocedBytesPerOp(),
+	}
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_parallel.json", "output path")
+		runs     = flag.Int("runs", 16, "Fig 14 repetition count")
+		duration = flag.Duration("duration", 2*time.Second, "simulated run length per Fig 14 placement")
+		trials   = flag.Int("trials", 1000, "detection-curve trials per point")
+		seed     = flag.Int64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	rep := report{
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Fig14Runs:     *runs,
+		Fig14Duration: duration.String(),
+		CurveTrials:   *trials,
+	}
+
+	// Fig 14 wall clock, serial vs all cores, asserting identical output.
+	o := exp.Options{
+		Seed: *seed, Duration: sim.Time(duration.Nanoseconds()),
+		Warmup: 300 * sim.Millisecond, Runs: *runs,
+	}
+	fmt.Fprintf(os.Stderr, "fig14: %d runs x %v, workers=1...\n", *runs, *duration)
+	o.Workers = 1
+	t0 := time.Now()
+	serial := exp.Fig14(o)
+	rep.Fig14.SerialSec = time.Since(t0).Seconds()
+	fmt.Fprintf(os.Stderr, "fig14: workers=%d...\n", rep.GoMaxProcs)
+	o.Workers = 0
+	t0 = time.Now()
+	par := exp.Fig14(o)
+	rep.Fig14.ParallelSec = time.Since(t0).Seconds()
+	rep.Fig14.Speedup = rep.Fig14.SerialSec / rep.Fig14.ParallelSec
+	assertSameCDF(serial, par)
+
+	set, err := gold.NewSet(7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Fprintf(os.Stderr, "detection curve: %d trials/point, workers=1 then %d...\n", *trials, rep.GoMaxProcs)
+	t0 = time.Now()
+	curveSerial := gold.MeasureDetectionCurve(set, 7, *trials, 10, *seed, 1)
+	rep.DetectionCurve.SerialSec = time.Since(t0).Seconds()
+	t0 = time.Now()
+	curvePar := gold.MeasureDetectionCurve(set, 7, *trials, 10, *seed, 0)
+	rep.DetectionCurve.ParallelSec = time.Since(t0).Seconds()
+	rep.DetectionCurve.Speedup = rep.DetectionCurve.SerialSec / rep.DetectionCurve.ParallelSec
+	for c := range curveSerial {
+		if curveSerial[c] != curvePar[c] {
+			panic(fmt.Sprintf("determinism violation: curve[%d] %v vs %v", c, curveSerial[c], curvePar[c]))
+		}
+	}
+
+	// Correlator hot-path micro-benchmarks.
+	fmt.Fprintln(os.Stderr, "correlator micro-benchmarks...")
+	corr := gold.NewCorrelator(set)
+	rx := set.Combine(1, 2, 3, 4)
+	rep.Metric = micro(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			corr.Metric(rx, 1)
+		}
+	}))
+	rep.Detect = micro(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			corr.Detect(rx, 1)
+		}
+	}))
+	buf := make([]float64, set.Len())
+	rep.AddShifted = micro(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			set.AddShifted(buf, 1, 63, 1, 2, 3, 4)
+		}
+	}))
+	rep.DetectionTrial = micro(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			gold.DetectionTrialParallel(set, gold.Setup{Senders: 2, Mode: gold.DifferentSignatures},
+				4, 64, 10, int64(i+1), 1)
+		}
+	}))
+	// testing.Benchmark reports the whole 64-trial shard; scale to per trial.
+	rep.DetectionTrial.NsPerOp /= 64
+	rep.DetectionTrial.AllocsPerOp /= 64
+	rep.DetectionTrial.BytesPerOp /= 64
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: fig14 speedup %.2fx, curve speedup %.2fx, Metric %.0f ns/op %d allocs/op\n",
+		*out, rep.Fig14.Speedup, rep.DetectionCurve.Speedup, rep.Metric.NsPerOp, rep.Metric.AllocsPerOp)
+}
+
+func assertSameCDF(a, b exp.Fig14Result) {
+	if a.Skipped != b.Skipped || a.Gains.N() != b.Gains.N() {
+		panic("determinism violation: Fig 14 shape differs between worker counts")
+	}
+	ax, _ := a.Gains.Points()
+	bx, _ := b.Gains.Points()
+	for i := range ax {
+		if ax[i] != bx[i] {
+			panic(fmt.Sprintf("determinism violation: Fig 14 gain %d: %v vs %v", i, ax[i], bx[i]))
+		}
+	}
+}

@@ -13,6 +13,7 @@
 //	domino-sim -topo fig1 -scheme domino -traffic saturated -duration 10s
 //	domino-sim -topo campus -aps 10 -clients 2 -scheme dcf -down 10 -up 4
 //	domino-sim -topo ht -scheme domino -trace | head -50
+//	domino-sim -topo random -reps 16 -workers 0    # 16 seeds across all cores
 package main
 
 import (
@@ -24,8 +25,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/domino"
+	"repro/internal/parallel"
 	"repro/internal/phy"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/topo"
 )
 
@@ -41,20 +44,15 @@ func main() {
 		duration = flag.Duration("duration", 5*time.Second, "simulated time")
 		warmup   = flag.Duration("warmup", 500*time.Millisecond, "statistics warm-up")
 		seed     = flag.Int64("seed", 1, "random seed")
+		reps     = flag.Int("reps", 1, "independent repetitions at derived seeds (seed + i*101)")
+		workers  = flag.Int("workers", 0, "worker pool size for -reps (0 = all cores)")
 		noDown   = flag.Bool("nodownlink", false, "omit downlink links")
 		noUp     = flag.Bool("nouplink", false, "omit uplink links")
 		trace    = flag.Bool("trace", false, "print DOMINO engine trace events")
 	)
 	flag.Parse()
 
-	net, err := buildTopo(*topoFlag, *aps, *clients, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
 	sc := core.Scenario{
-		Net:      net,
 		Downlink: !*noDown,
 		Uplink:   !*noUp,
 		Seed:     *seed,
@@ -87,6 +85,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown traffic %q\n", *traffic)
 		os.Exit(2)
 	}
+	if *reps > 1 {
+		if *trace {
+			fmt.Fprintln(os.Stderr, "-trace is ignored with -reps > 1 (interleaved output)")
+		}
+		runReps(sc, *topoFlag, *aps, *clients, *seed, *reps, *workers, *traffic, *duration)
+		return
+	}
+
+	net, err := buildTopo(*topoFlag, *aps, *clients, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sc.Net = net
 	if *trace {
 		sc.Trace = func(ev domino.TraceEvent) {
 			link := ""
@@ -119,6 +131,51 @@ func main() {
 	}
 	if o := res.Omni; o != nil {
 		fmt.Printf("omniscient: slots=%d failures=%d\n", o.Slots, o.Failures)
+	}
+}
+
+// runReps fans `reps` independent repetitions of the scenario across the
+// worker pool. Repetition i rebuilds its topology and runs at seed
+// seed + i*101, so the numbers are identical at any -workers value.
+func runReps(sc core.Scenario, topoName string, aps, clients int, seed int64, reps, workers int, traffic string, duration time.Duration) {
+	type rep struct {
+		seed int64
+		agg  float64
+		err  error
+	}
+	results := parallel.Map(workers, reps, func(i int) rep {
+		repSeed := parallel.Seed(seed, i, parallel.DefaultStride)
+		net, err := buildTopo(topoName, aps, clients, repSeed)
+		if err != nil {
+			return rep{seed: repSeed, err: err}
+		}
+		r := sc // Scenario is a value; each rep gets its own copy
+		r.Net = net
+		r.Seed = repSeed
+		return rep{seed: repSeed, agg: core.Run(r).AggregateMbps}
+	})
+
+	fmt.Printf("scheme=%s topo=%s traffic=%s duration=%v reps=%d workers=%d\n",
+		sc.Scheme, topoName, traffic, duration, reps, parallel.Workers(workers))
+	agg := &stats.CDF{}
+	failed := 0
+	for i, r := range results {
+		if r.err != nil {
+			failed++
+			fmt.Printf("  rep %-3d seed %-6d infeasible: %v\n", i, r.seed, r.err)
+			continue
+		}
+		agg.Add(r.agg)
+		fmt.Printf("  rep %-3d seed %-6d aggregate %8.2f Mbps\n", i, r.seed, r.agg)
+	}
+	if agg.N() == 0 {
+		fmt.Println("no feasible repetitions")
+		os.Exit(1)
+	}
+	fmt.Printf("aggregate Mbps over %d reps: min %.2f  p50 %.2f  max %.2f\n",
+		agg.N(), agg.Quantile(0), agg.Quantile(0.5), agg.Quantile(1))
+	if failed > 0 {
+		fmt.Printf("(%d infeasible repetitions skipped)\n", failed)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -96,6 +97,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		duration = flag.Duration("duration", 0, "override simulated run length")
 		runs     = flag.Int("runs", 0, "override Monte-Carlo repetition count")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for independent runs and sweep points (same numbers at any value)")
 		csvDir   = flag.String("csv", "", "also write machine-readable CSV series into this directory")
 	)
 	flag.Parse()
@@ -123,6 +125,7 @@ func main() {
 		os.Exit(2)
 	}
 	o.Seed = *seed
+	o.Workers = *workers
 	if *duration > 0 {
 		o.Duration = sim.Time(duration.Nanoseconds())
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dcf"
 	"repro/internal/domino"
 	"repro/internal/mac"
+	"repro/internal/parallel"
 	"repro/internal/phy"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -37,10 +38,14 @@ func coexistNet() *topo.Network {
 func Coexist(o Options) CoexistResult {
 	o = o.withDefaults()
 	res := CoexistResult{CoPMs: []float64{0, 2, 5, 10}}
-	for _, cop := range res.CoPMs {
-		dom, ext := coexistRun(o, sim.Millis(cop))
-		res.DominoMbps = append(res.DominoMbps, dom)
-		res.ExternalMbps = append(res.ExternalMbps, ext)
+	type share struct{ dom, ext float64 }
+	shares := parallel.Map(o.Workers, len(res.CoPMs), func(i int) share {
+		dom, ext := coexistRun(o, sim.Millis(res.CoPMs[i]))
+		return share{dom, ext}
+	})
+	for _, s := range shares {
+		res.DominoMbps = append(res.DominoMbps, s.dom)
+		res.ExternalMbps = append(res.ExternalMbps, s.ext)
 	}
 	return res
 }

@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/phy"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -25,6 +27,11 @@ type Options struct {
 	Runs int
 	// Trials is the per-point trial count for PHY Monte Carlos (Figs 6, 9).
 	Trials int
+	// Workers bounds the worker pool the drivers fan independent runs and
+	// sweep points across; ≤ 0 means all cores. Every driver derives
+	// per-task seeds and collects results in task order, so the numbers are
+	// identical at any Workers value (see internal/parallel).
+	Workers int
 }
 
 // Paper returns the evaluation-scale options (50 s runs as in §4.2.1).
@@ -64,10 +71,17 @@ func T10x2(seed int64) *topo.Network {
 
 // hline prints a separator sized to the header.
 func hline(w io.Writer, n int) {
-	for i := 0; i < n; i++ {
-		fmt.Fprint(w, "-")
-	}
-	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", n))
+}
+
+// pointSeedStride spaces the base seeds of independent sweep points far
+// enough apart that seeds derived within a point (shards at stride 101)
+// never collide across points.
+const pointSeedStride int64 = 1_000_003
+
+// pointSeed derives the RNG seed of sweep point idx of an experiment.
+func pointSeed(o Options, idx int) int64 {
+	return parallel.Seed(o.Seed, idx, pointSeedStride)
 }
 
 // runScheme is the shared single-run helper.

@@ -234,6 +234,31 @@ func TestFig14Shape(t *testing.T) {
 	}
 }
 
+// TestFig14Deterministic asserts the parallel-harness contract end to end:
+// the gains CDF and skip count are identical at workers=1 and workers=8 for
+// the same seed, because every placement derives its seed from its run
+// index and the CDF shards merge in run order.
+func TestFig14Deterministic(t *testing.T) {
+	o := Options{Seed: 5, Duration: 400 * sim.Millisecond, Warmup: 100 * sim.Millisecond, Runs: 4}
+	o.Workers = 1
+	serial := Fig14(o)
+	o.Workers = 8
+	par := Fig14(o)
+	if serial.Skipped != par.Skipped {
+		t.Fatalf("skipped: workers=1 %d, workers=8 %d", serial.Skipped, par.Skipped)
+	}
+	if serial.Gains.N() != par.Gains.N() {
+		t.Fatalf("N: workers=1 %d, workers=8 %d", serial.Gains.N(), par.Gains.N())
+	}
+	sx, _ := serial.Gains.Points()
+	px, _ := par.Gains.Points()
+	for i := range sx {
+		if sx[i] != px[i] {
+			t.Errorf("gain %d: workers=1 %v, workers=8 %v", i, sx[i], px[i])
+		}
+	}
+}
+
 func TestLightLoadShape(t *testing.T) {
 	o := small()
 	r := LightLoad(o)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dcf"
 	"repro/internal/domino"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/topo"
 )
@@ -30,15 +31,17 @@ func Fig2(o Options) Fig2Result {
 		PerLink:   map[core.Scheme][]float64{},
 		Overall:   map[core.Scheme]float64{},
 	}
-	for _, s := range res.Schemes {
+	runs := parallel.Map(o.Workers, len(res.Schemes), func(i int) core.Result {
 		net := topo.Figure1()
 		links := topo.Figure1Links(net)
-		r := core.Run(core.Scenario{
-			Net: net, Links: links, Scheme: s, Seed: o.Seed,
+		return core.Run(core.Scenario{
+			Net: net, Links: links, Scheme: res.Schemes[i], Seed: o.Seed,
 			Duration: o.Duration, Warmup: o.Warmup, Traffic: core.Saturated,
 		})
-		res.PerLink[s] = r.PerLinkMbps
-		res.Overall[s] = r.AggregateMbps
+	})
+	for i, s := range res.Schemes {
+		res.PerLink[s] = runs[i].PerLinkMbps
+		res.Overall[s] = runs[i].AggregateMbps
 	}
 	return res
 }
@@ -84,27 +87,36 @@ func Table2(o Options) Table2Result {
 	res := Table2Result{
 		Scenarios: []topo.TwoPairScenario{topo.SameContention, topo.HiddenTerminals, topo.ExposedTerminals},
 	}
-	for _, sc := range res.Scenarios {
-		net := topo.TwoPairs(sc)
-		d := core.Run(core.Scenario{
-			Net: net, Downlink: true, Scheme: core.DCF, Seed: o.Seed,
-			Duration: o.Duration * 10, Warmup: o.Warmup, Traffic: core.Saturated,
-			TuneDCF: func(c *dcf.Config) {
-				c.ExtraFrameTime = hostLatency
-				c.SlotTime = sim.Millisecond
-				c.SIFS = 2 * sim.Millisecond
-				c.DIFS = 4 * sim.Millisecond
-			},
-		})
+	// One task per (placement, scheme) cell; each builds its own network
+	// because engines register listeners on the medium.
+	type cell struct{ dcf, domino float64 }
+	cells := parallel.Map(o.Workers, len(res.Scenarios)*2, func(i int) cell {
+		sc := res.Scenarios[i/2]
+		if i%2 == 0 {
+			d := core.Run(core.Scenario{
+				Net: topo.TwoPairs(sc), Downlink: true, Scheme: core.DCF, Seed: o.Seed,
+				Duration: o.Duration * 10, Warmup: o.Warmup, Traffic: core.Saturated,
+				TuneDCF: func(c *dcf.Config) {
+					c.ExtraFrameTime = hostLatency
+					c.SlotTime = sim.Millisecond
+					c.SIFS = 2 * sim.Millisecond
+					c.DIFS = 4 * sim.Millisecond
+				},
+			})
+			return cell{dcf: d.AggregateMbps}
+		}
 		m := core.Run(core.Scenario{
-			Net: net, Downlink: true, Scheme: core.DOMINO, Seed: o.Seed,
+			Net: topo.TwoPairs(sc), Downlink: true, Scheme: core.DOMINO, Seed: o.Seed,
 			Duration: o.Duration * 10, Warmup: o.Warmup, Traffic: core.Saturated,
 			TuneDomino: func(c *domino.Config) {
 				c.ExtraFrameTime = hostLatency
 			},
 		})
-		res.DCF = append(res.DCF, d.AggregateMbps)
-		res.Domino = append(res.Domino, m.AggregateMbps)
+		return cell{domino: m.AggregateMbps}
+	})
+	for i := range res.Scenarios {
+		res.DCF = append(res.DCF, cells[2*i].dcf)
+		res.Domino = append(res.Domino, cells[2*i+1].domino)
 	}
 	return res
 }
@@ -148,28 +160,25 @@ type Table3Result struct {
 func Table3(o Options) Table3Result {
 	o = o.withDefaults()
 	var res Table3Result
-	nets := []*topo.Network{topo.Figure13a(), topo.Figure13b()}
+	builders := []func() *topo.Network{topo.Figure13a, topo.Figure13b}
 	schemes := []core.Scheme{core.DOMINO, core.CENTAUR, core.DCF}
-	for ti, netBuilder := range nets {
-		for si, s := range schemes {
-			r := core.Run(core.Scenario{
-				Net: clone(netBuilder, ti), Downlink: true, Scheme: s, Seed: o.Seed,
-				Duration: o.Duration, Warmup: o.Warmup, Traffic: core.Saturated,
-			})
-			res.Mbps[ti][si] = r.AggregateMbps
+	// One task per (topology, scheme) cell; each rebuilds its figure network
+	// because engines register listeners on the medium (RSS matrices are
+	// shared read-only).
+	mbps := parallel.Map(o.Workers, len(builders)*len(schemes), func(i int) float64 {
+		ti, si := i/len(schemes), i%len(schemes)
+		r := core.Run(core.Scenario{
+			Net: builders[ti](), Downlink: true, Scheme: schemes[si], Seed: o.Seed,
+			Duration: o.Duration, Warmup: o.Warmup, Traffic: core.Saturated,
+		})
+		return r.AggregateMbps
+	})
+	for ti := range builders {
+		for si := range schemes {
+			res.Mbps[ti][si] = mbps[ti*len(schemes)+si]
 		}
 	}
 	return res
-}
-
-// clone rebuilds a figure network (engines register listeners on the medium,
-// so each run needs a fresh Network value anyway; RSS matrices are shared
-// read-only).
-func clone(n *topo.Network, which int) *topo.Network {
-	if which == 0 {
-		return topo.Figure13a()
-	}
-	return topo.Figure13b()
 }
 
 // Print renders Table 3.
@@ -197,22 +206,21 @@ type Fig11Result struct {
 func Fig11(o Options) Fig11Result {
 	o = o.withDefaults()
 	res := Fig11Result{StdsUs: []float64{20, 40, 60, 80}, Slots: []int{0, 1, 2, 3, 4, 5}}
-	for _, std := range res.StdsUs {
-		net := T10x2(o.Seed)
+	res.MaxUs = parallel.Map(o.Workers, len(res.StdsUs), func(i int) []float64 {
 		r := core.Run(core.Scenario{
-			Net: net, Downlink: true, Uplink: true, Scheme: core.DOMINO,
+			Net: T10x2(o.Seed), Downlink: true, Uplink: true, Scheme: core.DOMINO,
 			Seed: o.Seed, Duration: o.Duration, Traffic: core.Saturated,
 			MisalignSlots: len(res.Slots) + 2,
 			TuneDomino: func(c *domino.Config) {
-				c.WiredLatencyStd = sim.Micros(std)
+				c.WiredLatencyStd = sim.Micros(res.StdsUs[i])
 			},
 		})
-		var row []float64
+		row := make([]float64, 0, len(res.Slots))
 		for _, slot := range res.Slots {
 			row = append(row, r.Misalign.Max(slot).Microseconds())
 		}
-		res.MaxUs = append(res.MaxUs, row)
-	}
+		return row
+	})
 	return res
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/gold"
 	"repro/internal/ofdm"
+	"repro/internal/parallel"
 )
 
 // Table1 prints the ROP control-symbol parameters next to regular WiFi, as
@@ -94,18 +95,22 @@ type Fig6Result struct {
 // between adjacent subchannels (paper Fig 6).
 func Fig6(o Options) Fig6Result {
 	o = o.withDefaults()
-	rng := rand.New(rand.NewSource(o.Seed))
 	res := Fig6Result{
 		DiffsDB: []float64{15, 20, 25, 30, 34, 38, 40, 44},
 		Ratio:   map[int][]float64{},
 	}
-	for g := 0; g <= 4; g++ {
+	// One task per (guard count, RSS diff) grid point, each with its own
+	// seed derived from the grid index.
+	const guards = 5
+	nd := len(res.DiffsDB)
+	ratios := parallel.Map(o.Workers, guards*nd, func(i int) float64 {
 		l := ofdm.DefaultLayout()
-		l.Guard = g
-		for _, d := range res.DiffsDB {
-			r := ofdm.DecodeRatio(l, d, ofdm.DefaultCFOMaxHz, 1e-3, o.Trials, rng)
-			res.Ratio[g] = append(res.Ratio[g], r)
-		}
+		l.Guard = i / nd
+		rng := rand.New(rand.NewSource(pointSeed(o, i)))
+		return ofdm.DecodeRatio(l, res.DiffsDB[i%nd], ofdm.DefaultCFOMaxHz, 1e-3, o.Trials, rng)
+	})
+	for g := 0; g < guards; g++ {
+		res.Ratio[g] = ratios[g*nd : (g+1)*nd]
 	}
 	return res
 }
@@ -137,12 +142,11 @@ type SNRFloorResult struct {
 // SNRFloor measures single-client decode reliability against wideband SNR.
 func SNRFloor(o Options) SNRFloorResult {
 	o = o.withDefaults()
-	rng := rand.New(rand.NewSource(o.Seed))
 	res := SNRFloorResult{SNRdB: []float64{-16, -12, -8, -6, -4, 0, 4, 8}}
-	l := ofdm.DefaultLayout()
-	for _, snr := range res.SNRdB {
-		res.Ratio = append(res.Ratio, ofdm.SNRFloor(l, snr, o.Trials, rng))
-	}
+	res.Ratio = parallel.Map(o.Workers, len(res.SNRdB), func(i int) float64 {
+		rng := rand.New(rand.NewSource(pointSeed(o, i)))
+		return ofdm.SNRFloor(ofdm.DefaultLayout(), res.SNRdB[i], o.Trials, rng)
+	})
 	return res
 }
 
@@ -185,17 +189,27 @@ func Fig9(o Options) Fig9Result {
 	if err != nil {
 		panic(err)
 	}
-	rng := rand.New(rand.NewSource(o.Seed))
 	res := Fig9Result{Combined: []int{1, 2, 3, 4, 5, 6, 7}, Setups: gold.Fig9Setups()}
-	for _, setup := range res.Setups {
-		var row []float64
-		for _, c := range res.Combined {
-			if c < setup.Senders && setup.Mode == gold.DifferentSignatures {
-				row = append(row, -1) // fewer signatures than senders: n/a
+	// One task per (setup, combined) grid point, seeded by grid index; n/a
+	// points (fewer signatures than senders) stay at -1. The false-positive
+	// maxima are reduced serially from the ordered grid below.
+	nc := len(res.Combined)
+	points := parallel.Map(o.Workers, len(res.Setups)*nc, func(i int) gold.DetectionResult {
+		setup := res.Setups[i/nc]
+		c := res.Combined[i%nc]
+		if c < setup.Senders && setup.Mode == gold.DifferentSignatures {
+			return gold.DetectionResult{Detected: -1}
+		}
+		return gold.DetectionTrialParallel(set, setup, c, o.Trials, 10, pointSeed(o, i), 1)
+	})
+	for si, setup := range res.Setups {
+		row := make([]float64, 0, nc)
+		for ci, c := range res.Combined {
+			r := points[si*nc+ci]
+			row = append(row, r.Detected)
+			if r.Detected < 0 {
 				continue
 			}
-			r := gold.DetectionTrial(set, setup, c, o.Trials, 10, rng)
-			row = append(row, r.Detected)
 			instances := c
 			if setup.Mode == gold.SameSignatures {
 				instances = c * setup.Senders

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/domino"
+	"repro/internal/parallel"
 	"repro/internal/phy"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -39,18 +40,24 @@ func Fig12(o Options, transport core.TrafficKind) Fig12Result {
 		UpMbps:    []float64{0, 2, 4, 6, 8, 10},
 		Schemes:   []core.Scheme{core.DOMINO, core.CENTAUR, core.DCF},
 	}
-	for _, s := range res.Schemes {
-		var tput, delay, fair []float64
-		for _, up := range res.UpMbps {
-			net := T10x2(o.Seed)
-			r := core.Run(core.Scenario{
-				Net: net, Downlink: true, Uplink: true, Scheme: s,
-				Seed: o.Seed, Duration: o.Duration, Warmup: o.Warmup,
-				Traffic: transport, DownMbps: 10, UpMbps: up,
-			})
-			tput = append(tput, r.DataMbps)
-			delay = append(delay, r.MeanDelayPerLink.Microseconds())
-			fair = append(fair, r.Fairness)
+	// One task per (scheme, uplink-rate) cell of the sweep grid.
+	nr := len(res.UpMbps)
+	runs := parallel.Map(o.Workers, len(res.Schemes)*nr, func(i int) core.Result {
+		return core.Run(core.Scenario{
+			Net: T10x2(o.Seed), Downlink: true, Uplink: true, Scheme: res.Schemes[i/nr],
+			Seed: o.Seed, Duration: o.Duration, Warmup: o.Warmup,
+			Traffic: transport, DownMbps: 10, UpMbps: res.UpMbps[i%nr],
+		})
+	})
+	for si := range res.Schemes {
+		tput := make([]float64, nr)
+		delay := make([]float64, nr)
+		fair := make([]float64, nr)
+		for ri := 0; ri < nr; ri++ {
+			r := runs[si*nr+ri]
+			tput[ri] = r.DataMbps
+			delay[ri] = r.MeanDelayPerLink.Microseconds()
+			fair[ri] = r.Fairness
 		}
 		res.ThroughputMbps = append(res.ThroughputMbps, tput)
 		res.DelayUs = append(res.DelayUs, delay)
@@ -98,14 +105,20 @@ type Fig14Result struct {
 func Fig14(o Options) Fig14Result {
 	o = o.withDefaults()
 	res := Fig14Result{Gains: &stats.CDF{}}
-	for run := 0; run < o.Runs; run++ {
-		seed := o.Seed + int64(run)*101
+	type outcome struct {
+		gains   *stats.CDF
+		skipped bool
+	}
+	// Each placement derives its own seed from the run index (the scheme the
+	// serial loop always used), so the set of outcomes is independent of
+	// scheduling; the per-run CDF shards are then merged in run order below.
+	outcomes := parallel.Map(o.Workers, o.Runs, func(run int) outcome {
+		seed := parallel.Seed(o.Seed, run, parallel.DefaultStride)
 		tr := topo.RandomTrace(seed, 110, 800)
 		rng := rand.New(rand.NewSource(seed))
 		net, err := topo.BuildT(tr, 20, 3, phy.DefaultConfig(), phy.Rate12, rng)
 		if err != nil {
-			res.Skipped++
-			continue
+			return outcome{skipped: true}
 		}
 		dcfRes := core.Run(core.Scenario{
 			Net: rebuild(tr, seed), Downlink: true, Uplink: true, Scheme: core.DCF,
@@ -117,9 +130,18 @@ func Fig14(o Options) Fig14Result {
 			Seed: seed, Duration: o.Duration, Warmup: o.Warmup,
 			Traffic: core.UDPCBR, DownMbps: 10, UpMbps: 10,
 		})
+		out := outcome{gains: &stats.CDF{}}
 		if dcfRes.AggregateMbps > 0 {
-			res.Gains.Add(domRes.AggregateMbps / dcfRes.AggregateMbps)
+			out.gains.Add(domRes.AggregateMbps / dcfRes.AggregateMbps)
 		}
+		return out
+	})
+	for _, out := range outcomes {
+		if out.skipped {
+			res.Skipped++
+			continue
+		}
+		res.Gains.Merge(out.gains)
 	}
 	return res
 }
@@ -165,23 +187,26 @@ type PollingSweepResult struct {
 func PollingSweep(o Options) PollingSweepResult {
 	o = o.withDefaults()
 	res := PollingSweepResult{BatchSizes: []int{4, 8, 12, 24, 48}}
-	run := func(rate float64, batch int) (float64, float64) {
-		net := T10x2(o.Seed)
+	// One task per (batch size, load) cell: even indices heavy, odd light.
+	type point struct{ mbps, delayUs float64 }
+	points := parallel.Map(o.Workers, len(res.BatchSizes)*2, func(i int) point {
+		rate := 5.0
+		if i%2 == 1 {
+			rate = 0.5
+		}
 		r := core.Run(core.Scenario{
-			Net: net, Downlink: true, Uplink: true, Scheme: core.DOMINO,
+			Net: T10x2(o.Seed), Downlink: true, Uplink: true, Scheme: core.DOMINO,
 			Seed: o.Seed, Duration: o.Duration, Warmup: o.Warmup,
 			Traffic: core.UDPCBR, DownMbps: rate, UpMbps: rate,
-			TuneDomino: func(c *domino.Config) { c.BatchSize = batch },
+			TuneDomino: func(c *domino.Config) { c.BatchSize = res.BatchSizes[i/2] },
 		})
-		return r.DataMbps, r.MeanDelay.Microseconds()
-	}
-	for _, b := range res.BatchSizes {
-		m, d := run(5, b)
-		res.HeavyMbps = append(res.HeavyMbps, m)
-		res.HeavyDelayUs = append(res.HeavyDelayUs, d)
-		m, d = run(0.5, b)
-		res.LightMbps = append(res.LightMbps, m)
-		res.LightDelayUs = append(res.LightDelayUs, d)
+		return point{r.DataMbps, r.MeanDelay.Microseconds()}
+	})
+	for i := range res.BatchSizes {
+		res.HeavyMbps = append(res.HeavyMbps, points[2*i].mbps)
+		res.HeavyDelayUs = append(res.HeavyDelayUs, points[2*i].delayUs)
+		res.LightMbps = append(res.LightMbps, points[2*i+1].mbps)
+		res.LightDelayUs = append(res.LightDelayUs, points[2*i+1].delayUs)
 	}
 	return res
 }
@@ -254,22 +279,20 @@ func LightLoad(o Options) LightLoadResult {
 		return net
 	}
 	const rate = 0.048 // 6 KBps
-	dom := core.Run(core.Scenario{
-		Net: build(), Downlink: true, Uplink: true, Scheme: core.DOMINO,
-		Seed: o.Seed, Duration: o.Duration, Warmup: o.Warmup,
-		Traffic: core.UDPCBR, DownMbps: rate, UpMbps: rate,
+	scenarios := []core.Scenario{
+		{Scheme: core.DOMINO},
+		{Scheme: core.DOMINO, TuneDomino: func(c *domino.Config) { c.AdaptiveBatch = true }},
+		{Scheme: core.DCF},
+	}
+	runs := parallel.Map(o.Workers, len(scenarios), func(i int) core.Result {
+		sc := scenarios[i]
+		sc.Net = build()
+		sc.Downlink, sc.Uplink = true, true
+		sc.Seed, sc.Duration, sc.Warmup = o.Seed, o.Duration, o.Warmup
+		sc.Traffic, sc.DownMbps, sc.UpMbps = core.UDPCBR, rate, rate
+		return core.Run(sc)
 	})
-	adaptive := core.Run(core.Scenario{
-		Net: build(), Downlink: true, Uplink: true, Scheme: core.DOMINO,
-		Seed: o.Seed, Duration: o.Duration, Warmup: o.Warmup,
-		Traffic: core.UDPCBR, DownMbps: rate, UpMbps: rate,
-		TuneDomino: func(c *domino.Config) { c.AdaptiveBatch = true },
-	})
-	d := core.Run(core.Scenario{
-		Net: build(), Downlink: true, Uplink: true, Scheme: core.DCF,
-		Seed: o.Seed, Duration: o.Duration, Warmup: o.Warmup,
-		Traffic: core.UDPCBR, DownMbps: rate, UpMbps: rate,
-	})
+	dom, adaptive, d := runs[0], runs[1], runs[2]
 	res := LightLoadResult{
 		DominoDelay:   dom.MeanDelay,
 		DCFDelay:      d.MeanDelay,

@@ -1,6 +1,10 @@
 package gold
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"repro/internal/parallel"
+)
 
 // SenderMode distinguishes the Fig 9 experiment setups: multiple triggering
 // transmitters either repeat the same combined signature (the redundancy
@@ -41,28 +45,52 @@ type DetectionResult struct {
 	FalsePositive float64
 }
 
-// DetectionTrial runs Monte-Carlo trials of a trigger reception: `combined`
-// distinct signatures are in the air, spread over the setup's senders, each
-// sender arriving with unit amplitude (the worst case the paper evaluates:
-// equal RSS) at the given chip SNR. Triggering transmitters are not
-// chip-synchronised, so every sender after the first lands at a random cyclic
-// offset; the receiver's correlator is locked to the sender carrying the
-// target signature. The detector hunts for the first signature of the
-// combination and, for the false-positive count, for a signature known to be
-// absent. Codes are drawn fresh each trial.
-func DetectionTrial(s *Set, setup Setup, combined, trials int, snrDB float64, rng *rand.Rand) DetectionResult {
-	if combined < 1 || combined >= s.Count()-1 {
-		panic("gold: combined signature count out of range")
+// trialScratch holds the per-worker buffers runTrials reuses across trials:
+// the received-baseband accumulator and the per-sender signature partition.
+// Before this scratch existed every trial allocated a fresh rx slice and
+// grew partitions with append.
+type trialScratch struct {
+	rx   []float64
+	part []int
+	perm []int
+}
+
+// permInto fills m with a pseudo-random permutation of [0, n) using exactly
+// the algorithm and draw sequence of rand.Perm, but into a reusable buffer:
+// one Intn per element instead of one slice allocation per trial.
+func permInto(rng *rand.Rand, n int, m []int) []int {
+	if cap(m) < n {
+		m = make([]int, n)
 	}
-	corr := NewCorrelator(s)
-	noise := NoiseStdForSNR(snrDB)
-	var det, fp int
+	m = m[:n]
+	if n > 0 {
+		m[0] = 0
+	}
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i + 1)
+		m[i] = m[j]
+		m[j] = i
+	}
+	return m
+}
+
+// runTrials is the serial Monte-Carlo core shared by DetectionTrial and the
+// sharded parallel drivers: `trials` receptions drawn from rng, counting
+// target detections and false positives. The rng draw order per trial
+// (permutation, per-sender offsets, noise) is part of the package's
+// determinism contract — do not reorder.
+func runTrials(s *Set, corr *Correlator, setup Setup, combined, trials int, noise float64, rng *rand.Rand, sc *trialScratch) (det, fp int) {
+	if sc.rx == nil {
+		sc.rx = make([]float64, s.Len())
+	}
 	for trial := 0; trial < trials; trial++ {
-		idx := rng.Perm(s.Count())
+		idx := permInto(rng, s.Count(), sc.perm)
+		sc.perm = idx
 		sigs := idx[:combined]
 		absent := idx[combined]
 
-		rx := make([]float64, s.Len())
+		rx := sc.rx
+		clear(rx)
 		offset := func(sender int) int {
 			if sender == 0 {
 				return 0 // the correlator is locked to sender 0
@@ -80,10 +108,11 @@ func DetectionTrial(s *Set, setup Setup, combined, trials int, snrDB float64, rn
 			// signature is transmitted exactly once. The target (sigs[0])
 			// lands on sender 0.
 			for sender := 0; sender < setup.Senders; sender++ {
-				var part []int
+				part := sc.part[:0]
 				for i := sender; i < len(sigs); i += setup.Senders {
 					part = append(part, sigs[i])
 				}
+				sc.part = part
 				if len(part) == 0 {
 					continue
 				}
@@ -99,18 +128,86 @@ func DetectionTrial(s *Set, setup Setup, combined, trials int, snrDB float64, rn
 			fp++
 		}
 	}
+	return det, fp
+}
+
+func checkCombined(s *Set, combined int) {
+	if combined < 1 || combined >= s.Count()-1 {
+		panic("gold: combined signature count out of range")
+	}
+}
+
+// DetectionTrial runs Monte-Carlo trials of a trigger reception: `combined`
+// distinct signatures are in the air, spread over the setup's senders, each
+// sender arriving with unit amplitude (the worst case the paper evaluates:
+// equal RSS) at the given chip SNR. Triggering transmitters are not
+// chip-synchronised, so every sender after the first lands at a random cyclic
+// offset; the receiver's correlator is locked to the sender carrying the
+// target signature. The detector hunts for the first signature of the
+// combination and, for the false-positive count, for a signature known to be
+// absent. Codes are drawn fresh each trial.
+func DetectionTrial(s *Set, setup Setup, combined, trials int, snrDB float64, rng *rand.Rand) DetectionResult {
+	checkCombined(s, combined)
+	corr := NewCorrelator(s)
+	var sc trialScratch
+	det, fp := runTrials(s, corr, setup, combined, trials, NoiseStdForSNR(snrDB), rng, &sc)
 	return DetectionResult{
 		Detected:      float64(det) / float64(trials),
 		FalsePositive: float64(fp) / float64(trials),
 	}
 }
 
+// shardTrials is the fixed shard granularity of the parallel Monte Carlo.
+// The shard structure — how many shards, which trials each covers, and each
+// shard's derived seed — depends only on the trial count, never on the
+// worker count, which is what makes DetectionTrialParallel's output
+// identical at any parallelism.
+const shardTrials = 64
+
+// DetectionTrialParallel is DetectionTrial with the trials sharded across a
+// worker pool: shard i covers trials [i*64, (i+1)*64) with its own
+// rand.Rand seeded parallel.Seed(seed, i, DefaultStride). Detection and
+// false-positive counts are summed over shards, so the result is
+// bit-identical for every workers value (workers ≤ 0 means all cores).
+func DetectionTrialParallel(s *Set, setup Setup, combined, trials int, snrDB float64, seed int64, workers int) DetectionResult {
+	checkCombined(s, combined)
+	corr := NewCorrelator(s)
+	noise := NoiseStdForSNR(snrDB)
+	shards := (trials + shardTrials - 1) / shardTrials
+	type counts struct{ det, fp int }
+	perShard := parallel.Map(workers, shards, func(i int) counts {
+		n := shardTrials
+		if rest := trials - i*shardTrials; rest < n {
+			n = rest
+		}
+		rng := rand.New(rand.NewSource(parallel.Seed(seed, i, parallel.DefaultStride)))
+		var sc trialScratch
+		det, fp := runTrials(s, corr, setup, combined, n, noise, rng, &sc)
+		return counts{det, fp}
+	})
+	var det, fp int
+	for _, c := range perShard {
+		det += c.det
+		fp += c.fp
+	}
+	return DetectionResult{
+		Detected:      float64(det) / float64(trials),
+		FalsePositive: float64(fp) / float64(trials),
+	}
+}
+
+// curveStride spaces the per-point base seeds of a detection curve far
+// apart so the shard seeds derived inside one point (point seed + shard*101)
+// can never collide with another point's.
+const curveStride int64 = 1_000_003
+
 // MeasureDetectionCurve runs the worst-case setup the MAC engine cares about
 // (multiple senders, different signatures) across combined counts 1..max and
 // returns detection probabilities indexed by combined count. Index 0 is 1.0
 // (nothing to detect never fails). This is the table phy.DefaultDetector
-// encodes.
-func MeasureDetectionCurve(s *Set, max, trials int, snrDB float64, rng *rand.Rand) []float64 {
+// encodes. Trials are sharded across `workers` goroutines (≤ 0 → all
+// cores); the curve is identical at every worker count for a given seed.
+func MeasureDetectionCurve(s *Set, max, trials int, snrDB float64, seed int64, workers int) []float64 {
 	curve := make([]float64, max+1)
 	curve[0] = 1
 	for c := 1; c <= max; c++ {
@@ -118,7 +215,7 @@ func MeasureDetectionCurve(s *Set, max, trials int, snrDB float64, rng *rand.Ran
 		if c == 1 {
 			setup = Setup{Senders: 1, Mode: SameSignatures}
 		}
-		r := DetectionTrial(s, setup, c, trials, snrDB, rng)
+		r := DetectionTrialParallel(s, setup, c, trials, snrDB, parallel.Seed(seed, c, curveStride), workers)
 		curve[c] = r.Detected
 	}
 	return curve

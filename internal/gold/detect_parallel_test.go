@@ -1,0 +1,104 @@
+package gold
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDetectionTrialParallelDeterministic asserts the harness contract:
+// the sharded Monte Carlo returns bit-identical results at every worker
+// count, because the shard structure and per-shard seeds depend only on the
+// trial count.
+func TestDetectionTrialParallelDeterministic(t *testing.T) {
+	s := set7(t)
+	setup := Setup{Senders: 2, Mode: DifferentSignatures}
+	// 200 trials → 4 shards, the last one partial.
+	want := DetectionTrialParallel(s, setup, 4, 200, 10, 11, 1)
+	for _, workers := range []int{2, 8} {
+		got := DetectionTrialParallel(s, setup, 4, 200, 10, 11, workers)
+		if got != want {
+			t.Errorf("workers=%d: %+v, want %+v", workers, got, want)
+		}
+	}
+	// And it still measures the same physics: near-perfect detection at 4
+	// combined signatures.
+	if want.Detected < 0.95 {
+		t.Errorf("detection %.3f < 0.95", want.Detected)
+	}
+}
+
+// TestDetectionCurveDeterministic pins the workers=1 ≡ workers=8 contract
+// for the full detection curve.
+func TestDetectionCurveDeterministic(t *testing.T) {
+	s := set7(t)
+	want := MeasureDetectionCurve(s, 7, 150, 10, 4, 1)
+	got := MeasureDetectionCurve(s, 7, 150, 10, 4, 8)
+	for c := range want {
+		if got[c] != want[c] {
+			t.Errorf("curve[%d]: workers=8 %.4f, workers=1 %.4f", c, got[c], want[c])
+		}
+	}
+}
+
+// TestDetectionTrialSeedSensitivity guards against per-shard seeds
+// collapsing to the same stream: different base seeds must (with these
+// trial counts) produce different counts somewhere along the curve.
+func TestDetectionTrialSeedSensitivity(t *testing.T) {
+	s := set7(t)
+	setup := Setup{Senders: 3, Mode: DifferentSignatures}
+	a := DetectionTrialParallel(s, setup, 7, 300, 10, 1, 4)
+	b := DetectionTrialParallel(s, setup, 7, 300, 10, 2, 4)
+	if a == b {
+		t.Errorf("seeds 1 and 2 produced identical results %+v", a)
+	}
+}
+
+func BenchmarkCorrelatorMetric(b *testing.B) {
+	s, _ := NewSet(7)
+	c := NewCorrelator(s)
+	rx := s.Combine(1, 2, 3, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Metric(rx, 1)
+	}
+}
+
+func BenchmarkCorrelatorDetect(b *testing.B) {
+	s, _ := NewSet(7)
+	c := NewCorrelator(s)
+	rx := s.Combine(1, 2, 3, 4)
+	AddAWGN(rx, NoiseStdForSNR(10), rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Detect(rx, 1)
+	}
+}
+
+func BenchmarkAddShifted(b *testing.B) {
+	s, _ := NewSet(7)
+	rx := make([]float64, s.Len())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AddShifted(rx, 1, 63, 1, 2, 3, 4)
+	}
+}
+
+func BenchmarkDetectionTrialParallel(b *testing.B) {
+	s, _ := NewSet(7)
+	setup := Setup{Senders: 2, Mode: DifferentSignatures}
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "allcores"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				DetectionTrialParallel(s, setup, 4, 256, 10, int64(i+1), workers)
+			}
+		})
+	}
+}

@@ -35,6 +35,11 @@ type Set struct {
 	n     int // code length 2^m − 1
 	t     int // three-valued correlation bound t(m)
 	codes [][]int8
+	// fchips mirrors codes as float64, precomputed so the correlator and
+	// AddShifted hot loops multiply directly instead of converting each
+	// int8 chip on every visit (the conversion dominated Metric's inner
+	// loop before this cache existed).
+	fchips [][]float64
 }
 
 // NewSet builds the Gold set of degree m (length 2^m − 1, 2^m + 1 codes).
@@ -68,6 +73,14 @@ func NewSet(m int) (*Set, error) {
 			x[i] = a[i] ^ b[(i+shift)%n]
 		}
 		s.codes = append(s.codes, toChips(x))
+	}
+	s.fchips = make([][]float64, len(s.codes))
+	for i, code := range s.codes {
+		f := make([]float64, n)
+		for k, c := range code {
+			f[k] = float64(c)
+		}
+		s.fchips[i] = f
 	}
 	return s, nil
 }
@@ -163,12 +176,25 @@ func (s *Set) Combine(idx ...int) []float64 {
 }
 
 // AddShifted adds the given codes, cyclically shifted and scaled, into rx —
-// one asynchronous transmitter's contribution to the received baseband.
+// one asynchronous transmitter's contribution to the received baseband. rx
+// must be at most one code period long (every caller uses exactly Len()).
 func (s *Set) AddShifted(rx []float64, amp float64, shift int, idx ...int) {
 	for _, i := range idx {
-		code := s.codes[i]
-		for k := range rx {
-			rx[k] += amp * float64(code[(k+shift)%s.n])
+		code := s.fchips[i]
+		// rx[k] += amp*code[(k+shift) mod n], with the wrap hoisted out of
+		// the loop: chips [shift:n) land in rx[:n-shift), chips [:shift)
+		// in rx[n-shift:).
+		split := s.n - shift
+		if split > len(rx) {
+			split = len(rx)
+		}
+		head, tail := rx[:split], rx[split:]
+		shifted := code[shift:]
+		for k := range head {
+			head[k] += amp * shifted[k]
+		}
+		for k := range tail {
+			tail[k] += amp * code[k]
 		}
 	}
 }
@@ -190,10 +216,10 @@ func NewCorrelator(s *Set) *Correlator { return &Correlator{Set: s, Threshold: 0
 // Metric returns |corr(rx, code)| / n: 1.0 for a clean unit-amplitude
 // occurrence of the code, ~t(m)/n for an absent one.
 func (c *Correlator) Metric(rx []float64, code int) float64 {
-	chips := c.Set.codes[code]
+	chips := c.Set.fchips[code]
 	var sum float64
 	for k, v := range rx {
-		sum += v * float64(chips[k])
+		sum += v * chips[k]
 	}
 	return math.Abs(sum) / float64(c.Set.n)
 }

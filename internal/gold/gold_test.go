@@ -244,8 +244,7 @@ func TestDetectionCurveShape(t *testing.T) {
 // ≤4-combined perfection that both agree on.
 func TestDetectionCurveMatchesDefault(t *testing.T) {
 	s := set7(t)
-	rng := rand.New(rand.NewSource(4))
-	curve := MeasureDetectionCurve(s, 7, 150, 10, rng)
+	curve := MeasureDetectionCurve(s, 7, 150, 10, 4, 1)
 	// phy.DefaultDetector's table (kept literal here: gold must not depend
 	// on phy).
 	defaultTable := []float64{1, 1, 1, 1, 0.998, 0.93, 0.80, 0.65}

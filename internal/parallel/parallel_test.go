@@ -1,0 +1,83 @@
+package parallel
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestSeed(t *testing.T) {
+	if Seed(7, 0, DefaultStride) != 7 {
+		t.Error("task 0 must use the base seed unchanged")
+	}
+	if Seed(7, 3, 101) != 7+3*101 {
+		t.Errorf("Seed(7,3,101) = %d", Seed(7, 3, 101))
+	}
+}
+
+func TestForEachCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 257
+		var hits [n]atomic.Int32
+		ForEach(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ran := false
+	ForEach(4, 0, func(int) { ran = true })
+	if ran {
+		t.Error("ForEach(_, 0) must not invoke fn")
+	}
+}
+
+// TestMapDeterministic is the core contract: per-index seeding makes the
+// result slice identical at every worker count.
+func TestMapDeterministic(t *testing.T) {
+	run := func(workers int) []float64 {
+		return Map(workers, 64, func(i int) float64 {
+			rng := rand.New(rand.NewSource(Seed(42, i, DefaultStride)))
+			var s float64
+			for k := 0; k < 100; k++ {
+				s += rng.NormFloat64()
+			}
+			return s
+		})
+	}
+	want := run(1)
+	for _, workers := range []int{2, 3, 8, 64} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapOrdering(t *testing.T) {
+	got := Map(8, 50, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+}

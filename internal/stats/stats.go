@@ -50,6 +50,23 @@ func (c *Collector) Dropped(p *mac.Packet, now sim.Time) {
 	c.links[p.Link.ID].DroppedPkts++
 }
 
+// Merge folds another collector's per-link tallies into this one, link by
+// link. Both collectors must track the same link set; shards of a split
+// measurement window merge into exactly the serial totals (all fields are
+// sums).
+func (c *Collector) Merge(o *Collector) {
+	if len(o.links) != len(c.links) {
+		panic("stats: merging collectors with different link counts")
+	}
+	for id := range c.links {
+		s, os := &c.links[id], &o.links[id]
+		s.DeliveredPkts += os.DeliveredPkts
+		s.DeliveredB += os.DeliveredB
+		s.DroppedPkts += os.DroppedPkts
+		s.DelaySum += os.DelaySum
+	}
+}
+
 // Link returns the accumulated statistics for a link.
 func (c *Collector) Link(id int) LinkStats { return c.links[id] }
 
@@ -154,6 +171,19 @@ func (c *CDF) Add(x float64) {
 
 // N returns the sample count.
 func (c *CDF) N() int { return len(c.xs) }
+
+// Merge absorbs another CDF's samples. Merging per-shard CDFs in shard
+// order yields exactly the samples a serial accumulation would hold, which
+// is how the parallel experiment harness reduces worker results without a
+// mutex (quantiles sort internally, so they are shard-order independent
+// either way). The argument is left unchanged.
+func (c *CDF) Merge(o *CDF) {
+	if o == nil || len(o.xs) == 0 {
+		return
+	}
+	c.xs = append(c.xs, o.xs...)
+	c.sorted = false
+}
 
 func (c *CDF) sort() {
 	if !c.sorted {

@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench benchreport
+.PHONY: ci vet build test race bench bench-obs benchreport benchreport-obs
 
-ci: vet build test race
+ci: vet build test race bench-obs
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,21 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
+# Observability hot-path benchmarks: the kernel event loop with/without an
+# OnEvent hook and the correlator with/without a tracer. Runs as part of ci
+# at a short benchtime — the point there is the allocs/op columns (the
+# disabled paths must stay at their no-observability counts), not stable
+# timings.
+bench-obs:
+	$(GO) test -run '^$$' -bench 'BenchmarkKernel' -benchmem -benchtime=1000x ./internal/sim
+	$(GO) test -run '^$$' -bench 'BenchmarkMetric' -benchmem -benchtime=1000x ./internal/gold
+
 # Refresh BENCH_parallel.json: harness speedup + correlator hot-path numbers.
 benchreport:
 	$(GO) run ./cmd/benchreport
+
+# Refresh BENCH_obs.json: tracing-disabled vs -enabled cost on the kernel and
+# correlator hot paths, gated against a same-run control (-strict makes a >2%
+# disabled-path regression fail the run).
+benchreport-obs:
+	$(GO) run ./cmd/benchreport -obs

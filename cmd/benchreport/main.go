@@ -7,10 +7,19 @@
 //
 //	go run ./cmd/benchreport                     # defaults, writes BENCH_parallel.json
 //	go run ./cmd/benchreport -runs 16 -duration 2s -out /tmp/bench.json
+//	go run ./cmd/benchreport -obs                # observability overhead, writes BENCH_obs.json
+//	go run ./cmd/benchreport -obs -strict        # fail (exit 1) on >2% disabled-path regression
 //
 // The wall-clock comparisons run each driver twice — workers=1 and
 // workers=GOMAXPROCS — on the same seed; the outputs are asserted identical
 // (the harness's determinism contract) before the timing is reported.
+//
+// -obs measures the tracing layer's cost on the two benchmark-pinned hot
+// paths (the kernel event loop and the correlator Detect), disabled vs
+// enabled. The disabled paths must allocate nothing (hard error) and stay
+// within 2% of a same-run plain-Metric control (warning, or exit 1 with
+// -strict); the drift against the recorded BENCH_parallel.json baseline is
+// reported but never fails, since it includes machine-speed changes.
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/gold"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -63,13 +73,27 @@ func micro(b testing.BenchmarkResult) microBench {
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_parallel.json", "output path")
+		out      = flag.String("out", "", "output path (default BENCH_parallel.json, or BENCH_obs.json with -obs)")
 		runs     = flag.Int("runs", 16, "Fig 14 repetition count")
 		duration = flag.Duration("duration", 2*time.Second, "simulated run length per Fig 14 placement")
 		trials   = flag.Int("trials", 1000, "detection-curve trials per point")
 		seed     = flag.Int64("seed", 1, "base seed")
+		obsMode  = flag.Bool("obs", false, "measure observability overhead instead (kernel + correlator, disabled vs enabled)")
+		strict   = flag.Bool("strict", false, "with -obs: exit 1 when the disabled path regresses >2% vs the baseline")
+		baseline = flag.String("baseline", "BENCH_parallel.json", "with -obs: baseline report for the correlator_detect comparison")
 	)
 	flag.Parse()
+
+	if *obsMode {
+		if *out == "" {
+			*out = "BENCH_obs.json"
+		}
+		obsReportMain(*out, *baseline, *strict)
+		return
+	}
+	if *out == "" {
+		*out = "BENCH_parallel.json"
+	}
 
 	rep := report{
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
@@ -161,6 +185,215 @@ func main() {
 	}
 	fmt.Printf("wrote %s: fig14 speedup %.2fx, curve speedup %.2fx, Metric %.0f ns/op %d allocs/op\n",
 		*out, rep.Fig14.Speedup, rep.DetectionCurve.Speedup, rep.Metric.NsPerOp, rep.Metric.AllocsPerOp)
+}
+
+// obsPair reports one hot path with observability disabled (the default) and
+// enabled (a minimal counting consumer).
+type obsPair struct {
+	Disabled microBench `json:"disabled"`
+	Enabled  microBench `json:"enabled"`
+	// EnabledOverheadPct is the enabled path's ns/op cost relative to
+	// disabled — the price actually paid when -trace/-metrics is on.
+	EnabledOverheadPct float64 `json:"enabled_overhead_pct"`
+}
+
+func pair(dis, en testing.BenchmarkResult) obsPair {
+	p := obsPair{Disabled: micro(dis), Enabled: micro(en)}
+	if p.Disabled.NsPerOp > 0 {
+		p.EnabledOverheadPct = 100 * (p.Enabled.NsPerOp - p.Disabled.NsPerOp) / p.Disabled.NsPerOp
+	}
+	return p
+}
+
+type obsReport struct {
+	GoMaxProcs int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Kernel     obsPair `json:"kernel_event_loop"`
+	Detect     obsPair `json:"correlator_detect"`
+	// MetricControl is plain Metric measured in this same run. Detect is
+	// Metric plus one comparison, so disabled Detect vs this control is the
+	// ≤2% zero-overhead gate — immune to the machine running at a different
+	// speed than when a baseline file was recorded. ControlDeltaPct is that
+	// comparison.
+	MetricControl   microBench `json:"metric_control"`
+	ControlDeltaPct float64    `json:"control_delta_pct"`
+	// BaselineDetectNs is BENCH_parallel.json's correlator_detect ns/op
+	// (zero when no baseline file was readable); BaselineDeltaPct compares
+	// the disabled Detect path against it. Informational: it conflates code
+	// changes with machine-speed drift between recordings.
+	BaselineDetectNs float64 `json:"baseline_detect_ns,omitempty"`
+	BaselineDeltaPct float64 `json:"baseline_delta_pct,omitempty"`
+}
+
+// benchKernel measures the event-loop fire path: a self-rescheduling event
+// chain, with or without an OnEvent hook (mirrors internal/sim BenchmarkKernel).
+func benchKernel(hook func(sim.EventInfo)) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		k := sim.New(1)
+		k.OnEvent(hook)
+		var tick func()
+		n := 0
+		tick = func() {
+			n++
+			if n < b.N {
+				k.After(sim.Microsecond, tick)
+			}
+		}
+		k.After(sim.Microsecond, tick)
+		b.ReportAllocs()
+		b.ResetTimer()
+		k.Run()
+	})
+}
+
+type countingTracer struct{ n int64 }
+
+func (c *countingTracer) Emit(obs.Record) { c.n++ }
+
+func nsOf(r testing.BenchmarkResult) float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+// minRounds interleaves the given benchmarks round-robin for `rounds` rounds
+// and keeps each one's fastest result. Back-to-back single-shot benchmarks on
+// a shared machine can differ by tens of percent as the host clock scales;
+// interleaving means every benchmark sees the same speed mix, and min-of-N
+// discards the throttled rounds.
+func minRounds(rounds int, fns ...func() testing.BenchmarkResult) []testing.BenchmarkResult {
+	out := make([]testing.BenchmarkResult, len(fns))
+	for round := 0; round < rounds; round++ {
+		for i, fn := range fns {
+			if r := fn(); round == 0 || nsOf(r) < nsOf(out[i]) {
+				out[i] = r
+			}
+		}
+	}
+	return out
+}
+
+func obsReportMain(out, baselinePath string, strict bool) {
+	rep := obsReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+
+	fmt.Fprintln(os.Stderr, "kernel event loop, hook disabled/enabled...")
+	var fired uint64
+	kr := minRounds(3,
+		func() testing.BenchmarkResult { return benchKernel(nil) },
+		func() testing.BenchmarkResult {
+			return benchKernel(func(info sim.EventInfo) { fired = info.Fired })
+		},
+	)
+	rep.Kernel = pair(kr[0], kr[1])
+	_ = fired
+
+	fmt.Fprintln(os.Stderr, "correlator Detect, tracer disabled/enabled...")
+	set, err := gold.NewSet(7)
+	if err != nil {
+		panic(err)
+	}
+	rx := set.Combine(1, 2, 3, 4)
+	// Disabled measures plain Detect — the entry point untraced runs
+	// execute; enabled measures DetectObserved with a live tracer. The two
+	// are separate methods precisely so the disabled path keeps its
+	// pre-observability machine code (see gold.Correlator.DetectObserved).
+	benchDetect := func(tr obs.Tracer) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			corr := gold.NewCorrelator(set)
+			corr.Obs = tr
+			b.ReportAllocs()
+			b.ResetTimer()
+			if tr == nil {
+				for i := 0; i < b.N; i++ {
+					corr.Detect(rx, 1)
+				}
+				return
+			}
+			for i := 0; i < b.N; i++ {
+				corr.DetectObserved(rx, 1)
+			}
+		})
+	}
+	corr := gold.NewCorrelator(set)
+	dr := minRounds(3,
+		func() testing.BenchmarkResult { return benchDetect(nil) },
+		func() testing.BenchmarkResult { return benchDetect(&countingTracer{}) },
+		func() testing.BenchmarkResult {
+			return testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					corr.Metric(rx, 1)
+				}
+			})
+		},
+	)
+	rep.Detect = pair(dr[0], dr[1])
+	rep.MetricControl = micro(dr[2])
+
+	// Hard gates: the disabled paths must add zero allocations.
+	fail := false
+	if rep.Detect.Disabled.AllocsPerOp != 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: Detect allocates %d/op with tracing disabled, want 0\n",
+			rep.Detect.Disabled.AllocsPerOp)
+		fail = true
+	}
+	if extra := rep.Kernel.Enabled.AllocsPerOp - rep.Kernel.Disabled.AllocsPerOp; extra > 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: kernel hook adds %d allocs/op over the disabled path\n", extra)
+		fail = true
+	}
+
+	// The ≤2% zero-overhead gate: disabled Detect against the same-run
+	// Metric control. Soft by default (single-shot timing pairs still jitter
+	// a few percent on a loaded machine), hard with -strict.
+	if rep.MetricControl.NsPerOp > 0 {
+		rep.ControlDeltaPct = 100 * (rep.Detect.Disabled.NsPerOp - rep.MetricControl.NsPerOp) / rep.MetricControl.NsPerOp
+		if rep.ControlDeltaPct > 2 {
+			fmt.Fprintf(os.Stderr, "%s: disabled Detect %.2f ns/op is %.1f%% over the same-run Metric control %.2f ns/op (gate: 2%%)\n",
+				map[bool]string{true: "FAIL", false: "WARN"}[strict],
+				rep.Detect.Disabled.NsPerOp, rep.ControlDeltaPct, rep.MetricControl.NsPerOp)
+			if strict {
+				fail = true
+			}
+		}
+	}
+
+	// Informational: drift against the recorded PR 1 baseline. This number
+	// moves when the machine does (thermal/contention), so it never fails
+	// the run — the same-run control above is the code-regression gate.
+	if data, err := os.ReadFile(baselinePath); err == nil {
+		var base struct {
+			Detect microBench `json:"correlator_detect"`
+		}
+		if json.Unmarshal(data, &base) == nil && base.Detect.NsPerOp > 0 {
+			rep.BaselineDetectNs = base.Detect.NsPerOp
+			rep.BaselineDeltaPct = 100 * (rep.Detect.Disabled.NsPerOp - base.Detect.NsPerOp) / base.Detect.NsPerOp
+			if rep.BaselineDeltaPct > 2 {
+				fmt.Fprintf(os.Stderr, "note: disabled Detect %.2f ns/op is %.1f%% over the %s recording %.2f ns/op (machine-speed drift included)\n",
+					rep.Detect.Disabled.NsPerOp, rep.BaselineDeltaPct, baselinePath, base.Detect.NsPerOp)
+			}
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "note: no baseline at %s, skipping the drift report\n", baselinePath)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: kernel %.1f→%.1f ns/op (%+.1f%%), Detect %.1f→%.1f ns/op (%+.1f%%), control delta %+.1f%%\n",
+		out,
+		rep.Kernel.Disabled.NsPerOp, rep.Kernel.Enabled.NsPerOp, rep.Kernel.EnabledOverheadPct,
+		rep.Detect.Disabled.NsPerOp, rep.Detect.Enabled.NsPerOp, rep.Detect.EnabledOverheadPct,
+		rep.ControlDeltaPct)
+	if fail {
+		os.Exit(1)
+	}
 }
 
 func assertSameCDF(a, b exp.Fig14Result) {

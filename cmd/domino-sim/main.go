@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/domino"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/phy"
 	"repro/internal/sim"
@@ -46,11 +47,23 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		reps     = flag.Int("reps", 1, "independent repetitions at derived seeds (seed + i*101)")
 		workers  = flag.Int("workers", 0, "worker pool size for -reps (0 = all cores)")
-		noDown   = flag.Bool("nodownlink", false, "omit downlink links")
-		noUp     = flag.Bool("nouplink", false, "omit uplink links")
-		trace    = flag.Bool("trace", false, "print DOMINO engine trace events")
+		noDown    = flag.Bool("nodownlink", false, "omit downlink links")
+		noUp      = flag.Bool("nouplink", false, "omit uplink links")
+		trace     = flag.Bool("trace", false, "print DOMINO engine trace events")
+		traceFile = flag.String("tracefile", "", "write the NDJSON observability trace to this file (- for stdout)")
+		metrics   = flag.Bool("metrics", false, "collect and print run metrics (counters, airtime breakdown)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := obs.ServeDebug(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/  runtime: http://%s/debug/runtime\n", addr, addr)
+	}
 
 	sc := core.Scenario{
 		Downlink: !*noDown,
@@ -86,8 +99,8 @@ func main() {
 		os.Exit(2)
 	}
 	if *reps > 1 {
-		if *trace {
-			fmt.Fprintln(os.Stderr, "-trace is ignored with -reps > 1 (interleaved output)")
+		if *trace || *traceFile != "" {
+			fmt.Fprintln(os.Stderr, "-trace/-tracefile are ignored with -reps > 1 (interleaved output)")
 		}
 		runReps(sc, *topoFlag, *aps, *clients, *seed, *reps, *workers, *traffic, *duration)
 		return
@@ -108,8 +121,33 @@ func main() {
 			fmt.Printf("%12v slot %-4d %-10s node %-3d %s\n", ev.At, ev.Slot, ev.Kind, ev.Node, link)
 		}
 	}
+	var ndjson *obs.NDJSON
+	if *traceFile != "" {
+		w := os.Stdout
+		if *traceFile != "-" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			w = f
+		}
+		ndjson = obs.NewNDJSON(w)
+		sc.Tracer = ndjson
+	}
+	if *metrics {
+		sc.Metrics = obs.NewMetrics()
+	}
 
 	res := core.Run(sc)
+
+	if ndjson != nil {
+		if err := ndjson.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace write: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	fmt.Printf("scheme=%s topo=%s traffic=%s duration=%v seed=%d\n",
 		sc.Scheme, *topoFlag, *traffic, *duration, *seed)
@@ -131,6 +169,14 @@ func main() {
 	}
 	if o := res.Omni; o != nil {
 		fmt.Printf("omniscient: slots=%d failures=%d\n", o.Slots, o.Failures)
+	}
+	if res.Breakdown != nil {
+		fmt.Println("airtime breakdown:")
+		res.Breakdown.WriteText(os.Stdout)
+	}
+	if res.Snapshot != nil {
+		fmt.Println("metrics:")
+		res.Snapshot.WriteText(os.Stdout)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -97,10 +98,21 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		duration = flag.Duration("duration", 0, "override simulated run length")
 		runs     = flag.Int("runs", 0, "override Monte-Carlo repetition count")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for independent runs and sweep points (same numbers at any value)")
-		csvDir   = flag.String("csv", "", "also write machine-readable CSV series into this directory")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for independent runs and sweep points (same numbers at any value)")
+		csvDir    = flag.String("csv", "", "also write machine-readable CSV series into this directory")
+		traceFile = flag.String("trace", "", "write the NDJSON observability trace of supporting experiments (fig2, fig14) to this file")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := obs.ServeDebug(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/  runtime: http://%s/debug/runtime\n", addr, addr)
+	}
 
 	all := experiments()
 	if *list || *runFlag == "" {
@@ -131,6 +143,15 @@ func main() {
 	}
 	if *runs > 0 {
 		o.Runs = *runs
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		o.TraceSink = f
+		defer f.Close()
 	}
 
 	want := map[string]bool{}

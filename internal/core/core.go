@@ -13,6 +13,7 @@ import (
 	"repro/internal/dcf"
 	"repro/internal/domino"
 	"repro/internal/mac"
+	"repro/internal/obs"
 	"repro/internal/phy"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -100,6 +101,14 @@ type Scenario struct {
 	MisalignSlots int
 	// Trace receives DOMINO engine events (Fig 10 microscope).
 	Trace func(domino.TraceEvent)
+
+	// Tracer, when non-nil, receives the run's typed observability records
+	// (obs package): kernel samples, PHY activity, scheme slot timelines,
+	// queue depths. Metrics, when non-nil, accumulates the run's counters
+	// and histograms. Leaving both nil installs no hooks at all — the
+	// simulation hot paths pay only their own nil checks.
+	Tracer  obs.Tracer
+	Metrics *obs.Metrics
 }
 
 // Result carries a run's measurements.
@@ -126,6 +135,12 @@ type Result struct {
 	Misalign   *stats.Misalignment
 	TCPFlows   []*traffic.TCPFlow
 	dataLinkID map[int]bool
+
+	// Breakdown partitions the run's airtime (idle/data/ack/…/overlap sums
+	// to Duration exactly); Snapshot freezes the metrics registry. Both are
+	// nil unless the scenario set Tracer or Metrics.
+	Breakdown *obs.Breakdown
+	Snapshot  obs.Snapshot
 }
 
 // Run executes the scenario and returns its measurements.
@@ -157,6 +172,17 @@ func Run(s Scenario) Result {
 
 	res := Result{Links: links, dataLinkID: map[int]bool{}}
 
+	// Observability: one obs.Run spans the kernel, the medium and the MAC
+	// outcome stream; the scheme engines add their own typed records below.
+	var orun *obs.Run
+	if s.Tracer != nil || s.Metrics != nil {
+		orun = obs.NewRun(s.Tracer, s.Metrics).BindClock(k.Now)
+		k.OnEvent(orun.KernelHook())
+		medium.SetProbe(orun)
+		hub.Add(orun)
+		orun.Start(s.Scheme.String(), s.Seed)
+	}
+
 	var engine mac.Engine
 	switch s.Scheme {
 	case DCF:
@@ -166,6 +192,10 @@ func Run(s Scenario) Result {
 			s.TuneDCF(&cfg)
 		}
 		e := dcf.New(k, medium, links, hub, cfg)
+		if orun != nil {
+			e.Obs = s.Tracer
+			e.EnableQueueSampling(orun.QueueSampler())
+		}
 		res.Dcf = e
 		engine = e
 	case CENTAUR:
@@ -188,6 +218,10 @@ func Run(s Scenario) Result {
 		e := domino.New(k, medium, g, hub, cfg)
 		if s.Trace != nil {
 			e.Trace = s.Trace
+		}
+		if orun != nil {
+			e.Obs = s.Tracer
+			e.EnableQueueSampling(orun.QueueSampler())
 		}
 		res.Domino = e
 		res.Misalign = e.Misalign
@@ -266,6 +300,14 @@ func Run(s Scenario) Result {
 
 	engine.Start()
 	k.RunUntil(s.Duration)
+
+	if orun != nil {
+		bd := orun.Finish(s.Duration)
+		res.Breakdown = &bd
+		if s.Metrics != nil {
+			res.Snapshot = s.Metrics.Snapshot()
+		}
+	}
 
 	res.PerLinkMbps = coll.PerLinkMbps(s.Duration)
 	res.AggregateMbps = coll.AggregateMbps(s.Duration)

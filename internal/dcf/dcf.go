@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/mac"
+	"repro/internal/obs"
 	"repro/internal/phy"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -62,6 +63,19 @@ type Engine struct {
 	// timeout counts).
 	AckTimeouts int
 	Drops       int
+
+	// Obs, when non-nil, receives backoff draws and ACK timeouts. Set it
+	// before Start; nil (the default) costs one branch per emission site.
+	Obs obs.Tracer
+}
+
+// EnableQueueSampling installs fn as the depth observer on every link queue,
+// tagged with the link id (the observability layer's queue sampler).
+func (e *Engine) EnableQueueSampling(fn func(link, depth int)) {
+	for id, q := range e.queues {
+		id := id
+		q.OnDepth = func(depth int) { fn(id, depth) }
+	}
 }
 
 type state int
@@ -182,6 +196,13 @@ func (n *node) serveNext() {
 // startContention draws a fresh backoff counter and begins counting down.
 func (n *node) startContention() {
 	n.counter = n.e.k.Rand().Intn(n.cw + 1)
+	if n.e.Obs != nil {
+		rec := obs.Rec(n.e.k.Now(), obs.KindBackoff)
+		rec.Node = int(n.id)
+		rec.Value = int64(n.counter)
+		rec.Extra = int64(n.cw)
+		n.e.Obs.Emit(rec)
+	}
 	n.st = stBackoff
 	n.tryScheduleFire()
 }
@@ -195,7 +216,7 @@ func (n *node) tryScheduleFire() {
 	}
 	n.fireBase = n.e.k.Now()
 	wait := n.e.cfg.DIFS + sim.Time(n.counter)*n.e.cfg.SlotTime
-	n.fireEv = n.e.k.After(wait, n.fire)
+	n.fireEv = n.e.k.After(wait, n.fire).SetSource(sim.SrcMAC)
 }
 
 // CarrierChanged implements phy.Listener: pause and resume backoff.
@@ -249,9 +270,9 @@ func (n *node) fire() {
 		if n.st == stTx {
 			n.st = stWaitAck
 			timeout := n.e.cfg.SIFS + n.e.ackAirtime() + 2*n.e.cfg.SlotTime
-			n.timeoutEv = n.e.k.After(timeout, n.ackTimeout)
+			n.timeoutEv = n.e.k.After(timeout, n.ackTimeout).SetSource(sim.SrcMAC)
 		}
-	})
+	}).SetSource(sim.SrcMAC)
 }
 
 // FrameReceived implements phy.Listener.
@@ -334,6 +355,12 @@ func (n *node) ackTimeout() {
 	}
 	n.e.AckTimeouts++
 	n.pending.Retries++
+	if n.e.Obs != nil {
+		rec := obs.Rec(n.e.k.Now(), obs.KindAckTimeout)
+		rec.Node = int(n.id)
+		rec.Value = int64(n.pending.Retries)
+		n.e.Obs.Emit(rec)
+	}
 	if n.pending.Retries > mac.RetryLimit {
 		p := n.pending
 		n.pending = nil

@@ -439,10 +439,10 @@ func (ap *apNode) doPollNow(slotIdx int) {
 	ap.scheduleSelfArm(slotIdx, ap.lastSlotStart)
 	decodeAt := e.cfg.pollAirtime() + phy.SlotTime + sim.Micros(16)
 	e.k.After(decodeAt, func() {
-		res := rop.Decode(ap.assign,
+		res := rop.DecodeObserved(ap.assign,
 			func(c phy.NodeID) int { return e.clientBacklog(c) },
 			func(c phy.NodeID) float64 { return e.net.RSS[c][ap.id] },
-			e.medium.Config().NoiseDBm, e.k.Rand())
+			e.medium.Config().NoiseDBm, e.k.Rand(), e.Obs, e.k.Now())
 		lat := e.cfg.WiredLatencyMean +
 			sim.Time(e.k.Rand().NormFloat64()*float64(e.cfg.WiredLatencyStd))
 		if lat < 0 {
@@ -487,7 +487,7 @@ func (ap *apNode) FrameReceived(f *phy.Frame, ok bool, det *phy.SignatureDetecti
 	if !ok {
 		if f.Kind == phy.Signature {
 			if pl, good := f.Payload.(*phy.SignaturePayload); good && containsInt(pl.Sigs, int(ap.id)) {
-				e.TriggerMisses++
+				e.triggerMiss(ap.id, pl.SlotHint)
 				e.noteSigMiss(ap.id, det)
 			}
 		}

@@ -37,7 +37,7 @@ func (c *clientNode) FrameReceived(f *phy.Frame, ok bool, det *phy.SignatureDete
 	if !ok {
 		if f.Kind == phy.Signature {
 			if pl, good := f.Payload.(*phy.SignaturePayload); good && containsInt(pl.Sigs, int(c.id)) {
-				e.TriggerMisses++
+				e.triggerMiss(c.id, pl.SlotHint)
 				e.noteSigMiss(c.id, det)
 			}
 		}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/convert"
 	"repro/internal/mac"
+	"repro/internal/obs"
 	"repro/internal/phy"
 	"repro/internal/rop"
 	"repro/internal/sim"
@@ -59,6 +60,12 @@ type Engine struct {
 	refGroup []int
 	// Trace receives activity events when non-nil.
 	Trace func(TraceEvent)
+	// Obs, when non-nil, receives typed slot-timeline records mirroring the
+	// Trace stream (slot_start for data/fake sends, slot_end for boundary
+	// broadcasts, trigger/trigger_miss for signature outcomes) plus ROP poll
+	// records from DecodeObserved. The nil default costs one branch per
+	// trace call.
+	Obs obs.Tracer
 
 	// Counters.
 	DataSends  int
@@ -220,7 +227,7 @@ func (e *Engine) ensureNode(id phy.NodeID) {
 // Start implements mac.Engine: the server computes and dispatches the first
 // batch.
 func (e *Engine) Start() {
-	e.k.After(0, e.server.buildAndDispatch)
+	e.k.After(0, e.server.buildAndDispatch).SetSource(sim.SrcMAC)
 }
 
 // Enqueue implements mac.Engine.
@@ -288,9 +295,66 @@ func (e *Engine) noteSigMiss(id phy.NodeID, det *phy.SignatureDetection) {
 }
 
 func (e *Engine) trace(ev TraceEvent) {
+	if e.Trace == nil && e.Obs == nil {
+		return
+	}
+	ev.At = e.k.Now()
 	if e.Trace != nil {
-		ev.At = e.k.Now()
 		e.Trace(ev)
+	}
+	if e.Obs == nil {
+		return
+	}
+	// Bridge the string-kinded microscope stream onto typed obs records.
+	// ACK/poll/selfstart/drop activity is covered elsewhere (the medium probe
+	// sees every ACK frame; rop.DecodeObserved emits per-client poll records;
+	// mac.Events sees drops), so only the slot-timeline kinds map here.
+	switch ev.Kind {
+	case "data", "fake":
+		rec := obs.Rec(ev.At, obs.KindSlotStart)
+		rec.Node = int(ev.Node)
+		if ev.Link != nil {
+			rec.Link = ev.Link.ID
+		}
+		rec.Slot = ev.Slot
+		rec.Aux = ev.Kind
+		rec.OK = ev.OK
+		e.Obs.Emit(rec)
+	case "trigger":
+		rec := obs.Rec(ev.At, obs.KindTrigger)
+		rec.Node = int(ev.Node)
+		rec.Slot = ev.Slot
+		rec.OK = true
+		e.Obs.Emit(rec)
+	case "bcast":
+		// A boundary broadcast's Slot is the NEXT slot hint; the slot it
+		// closes is the one before.
+		rec := obs.Rec(ev.At, obs.KindSlotEnd)
+		rec.Node = int(ev.Node)
+		rec.Slot = ev.Slot - 1
+		rec.OK = ev.OK
+		e.Obs.Emit(rec)
+	}
+}
+
+// triggerMiss records a failed own-signature detection: the broadcast carried
+// the node's ID but the correlator (SINR model) missed it.
+func (e *Engine) triggerMiss(id phy.NodeID, slotHint int) {
+	e.TriggerMisses++
+	if e.Obs != nil {
+		rec := obs.Rec(e.k.Now(), obs.KindTriggerMiss)
+		rec.Node = int(id)
+		rec.Slot = slotHint
+		e.Obs.Emit(rec)
+	}
+}
+
+// EnableQueueSampling installs a per-link backlog observer on every queue
+// (typically obs.Run.QueueSampler()). Call before traffic starts.
+func (e *Engine) EnableQueueSampling(fn func(link, depth int)) {
+	for id, q := range e.queues {
+		id := id
+		q.OnDepth = func(depth int) { fn(id, depth) }
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/phy"
 	"repro/internal/sim"
@@ -32,6 +33,11 @@ type Options struct {
 	// per-task seeds and collects results in task order, so the numbers are
 	// identical at any Workers value (see internal/parallel).
 	Workers int
+	// TraceSink, when non-nil, receives the NDJSON observability trace of
+	// the drivers that support it (Fig2, Fig14). Each simulation run writes
+	// into its own obs.Sharded shard and the shards are concatenated in run
+	// order, so the stream is byte-identical at any Workers value.
+	TraceSink io.Writer
 }
 
 // Paper returns the evaluation-scale options (50 s runs as in §4.2.1).
@@ -82,6 +88,14 @@ const pointSeedStride int64 = 1_000_003
 // pointSeed derives the RNG seed of sweep point idx of an experiment.
 func pointSeed(o Options, idx int) int64 {
 	return parallel.Seed(o.Seed, idx, pointSeedStride)
+}
+
+// shardTracer returns shard i of s, or a nil tracer when tracing is off.
+func shardTracer(s *obs.Sharded, i int) obs.Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.Shard(i)
 }
 
 // runScheme is the shared single-run helper.

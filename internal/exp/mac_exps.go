@@ -3,10 +3,12 @@ package exp
 import (
 	"fmt"
 	"io"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/dcf"
 	"repro/internal/domino"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -31,17 +33,28 @@ func Fig2(o Options) Fig2Result {
 		PerLink:   map[core.Scheme][]float64{},
 		Overall:   map[core.Scheme]float64{},
 	}
+	// One tracer shard per scheme, concatenated in scheme order.
+	var sharded *obs.Sharded
+	if o.TraceSink != nil {
+		sharded = obs.NewSharded(len(res.Schemes))
+	}
 	runs := parallel.Map(o.Workers, len(res.Schemes), func(i int) core.Result {
 		net := topo.Figure1()
 		links := topo.Figure1Links(net)
 		return core.Run(core.Scenario{
 			Net: net, Links: links, Scheme: res.Schemes[i], Seed: o.Seed,
 			Duration: o.Duration, Warmup: o.Warmup, Traffic: core.Saturated,
+			Tracer: shardTracer(sharded, i),
 		})
 	})
 	for i, s := range res.Schemes {
 		res.PerLink[s] = runs[i].PerLinkMbps
 		res.Overall[s] = runs[i].AggregateMbps
+	}
+	if sharded != nil {
+		if _, err := sharded.WriteTo(o.TraceSink); err != nil {
+			fmt.Fprintf(os.Stderr, "exp: Fig2 trace write: %v\n", err)
+		}
 	}
 	return res
 }

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/domino"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/phy"
 	"repro/internal/sim"
@@ -109,6 +111,12 @@ func Fig14(o Options) Fig14Result {
 		gains   *stats.CDF
 		skipped bool
 	}
+	// Tracing uses two shards per run (DCF then DOMINO), concatenated in run
+	// order below, so the stream is identical at any worker count.
+	var sharded *obs.Sharded
+	if o.TraceSink != nil {
+		sharded = obs.NewSharded(2 * o.Runs)
+	}
 	// Each placement derives its own seed from the run index (the scheme the
 	// serial loop always used), so the set of outcomes is independent of
 	// scheduling; the per-run CDF shards are then merged in run order below.
@@ -124,11 +132,13 @@ func Fig14(o Options) Fig14Result {
 			Net: rebuild(tr, seed), Downlink: true, Uplink: true, Scheme: core.DCF,
 			Seed: seed, Duration: o.Duration, Warmup: o.Warmup,
 			Traffic: core.UDPCBR, DownMbps: 10, UpMbps: 10,
+			Tracer: shardTracer(sharded, 2*run),
 		})
 		domRes := core.Run(core.Scenario{
 			Net: net, Downlink: true, Uplink: true, Scheme: core.DOMINO,
 			Seed: seed, Duration: o.Duration, Warmup: o.Warmup,
 			Traffic: core.UDPCBR, DownMbps: 10, UpMbps: 10,
+			Tracer: shardTracer(sharded, 2*run+1),
 		})
 		out := outcome{gains: &stats.CDF{}}
 		if dcfRes.AggregateMbps > 0 {
@@ -142,6 +152,11 @@ func Fig14(o Options) Fig14Result {
 			continue
 		}
 		res.Gains.Merge(out.gains)
+	}
+	if sharded != nil {
+		if _, err := sharded.WriteTo(o.TraceSink); err != nil {
+			fmt.Fprintf(os.Stderr, "exp: Fig14 trace write: %v\n", err)
+		}
 	}
 	return res
 }

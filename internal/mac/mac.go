@@ -114,6 +114,11 @@ type Engine interface {
 type Queue struct {
 	pkts []*Packet
 	cap  int
+
+	// OnDepth, when non-nil, observes the backlog after every accepted push,
+	// pop and re-insert — the observability layer's queue-depth sampler.
+	// Nil (the default) costs one branch per queue operation.
+	OnDepth func(depth int)
 }
 
 // NewQueue returns a queue bounded to capacity packets (0 means
@@ -131,6 +136,9 @@ func (q *Queue) Push(p *Packet) bool {
 		return false
 	}
 	q.pkts = append(q.pkts, p)
+	if q.OnDepth != nil {
+		q.OnDepth(len(q.pkts))
+	}
 	return true
 }
 
@@ -142,6 +150,9 @@ func (q *Queue) Pop() *Packet {
 	p := q.pkts[0]
 	q.pkts[0] = nil
 	q.pkts = q.pkts[1:]
+	if q.OnDepth != nil {
+		q.OnDepth(len(q.pkts))
+	}
 	return p
 }
 
@@ -156,6 +167,9 @@ func (q *Queue) Peek() *Packet {
 // PushFront reinserts a packet at the head (retransmission priority).
 func (q *Queue) PushFront(p *Packet) {
 	q.pkts = append([]*Packet{p}, q.pkts...)
+	if q.OnDepth != nil {
+		q.OnDepth(len(q.pkts))
+	}
 }
 
 // Len returns the backlog in packets.

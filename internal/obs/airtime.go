@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// Bucket classifies what occupied the channel during a timeline segment.
+// Poll and Report frames share a bucket (both are ROP overhead); Overlap is
+// any interval with two or more frames in the air — the airtime collisions
+// and captures spend.
+type Bucket uint8
+
+const (
+	BucketIdle Bucket = iota
+	BucketData
+	BucketAck
+	BucketSig
+	BucketPoll
+	BucketFake
+	BucketOverlap
+	NumBuckets
+)
+
+var bucketNames = [NumBuckets]string{
+	"idle", "data", "ack", "signature", "poll", "fake", "overlap",
+}
+
+// String returns the bucket's display name.
+func (b Bucket) String() string {
+	if int(b) < len(bucketNames) {
+		return bucketNames[b]
+	}
+	return "unknown"
+}
+
+// BucketOf maps a frame kind to its airtime bucket.
+func BucketOf(k phy.FrameKind) Bucket {
+	switch k {
+	case phy.Data:
+		return BucketData
+	case phy.Ack:
+		return BucketAck
+	case phy.Signature:
+		return BucketSig
+	case phy.Poll, phy.Report:
+		return BucketPoll
+	case phy.FakeHeader:
+		return BucketFake
+	default:
+		return BucketData
+	}
+}
+
+// BucketOfName maps a phy.FrameKind wire name (as stored in TxStart/TxEnd
+// records' Aux) back to a bucket, for trace replay in tracedump.
+func BucketOfName(name string) Bucket {
+	switch name {
+	case "DATA":
+		return BucketData
+	case "ACK":
+		return BucketAck
+	case "SIG":
+		return BucketSig
+	case "POLL", "REPORT":
+		return BucketPoll
+	case "FAKE":
+		return BucketFake
+	default:
+		return BucketData
+	}
+}
+
+// Airtime accumulates a channel-occupancy breakdown by timeline
+// segmentation: every transmission start or end closes the current segment
+// and classifies it by what was in the air — nothing (idle), exactly one
+// frame (that frame's bucket), or several (overlap). Segments partition the
+// run, so the buckets sum exactly to the run duration by construction; the
+// integration test and tracedump both rely on that invariant.
+type Airtime struct {
+	active   [NumBuckets]int
+	nActive  int
+	segStart sim.Time
+	acc      [NumBuckets]sim.Time
+}
+
+// Start records a transmission of bucket b beginning at now.
+func (a *Airtime) Start(b Bucket, now sim.Time) {
+	a.close(now)
+	a.active[b]++
+	a.nActive++
+}
+
+// End records a transmission of bucket b ending at now.
+func (a *Airtime) End(b Bucket, now sim.Time) {
+	a.close(now)
+	if a.active[b] > 0 {
+		a.active[b]--
+		a.nActive--
+	}
+}
+
+func (a *Airtime) close(now sim.Time) {
+	if now > a.segStart {
+		a.acc[a.classify()] += now - a.segStart
+	}
+	a.segStart = now
+}
+
+func (a *Airtime) classify() Bucket {
+	if a.nActive == 0 {
+		return BucketIdle
+	}
+	if a.nActive == 1 {
+		for b := BucketData; b < BucketOverlap; b++ {
+			if a.active[b] > 0 {
+				return b
+			}
+		}
+	}
+	return BucketOverlap
+}
+
+// Breakdown closes the timeline at end and returns the accumulated budget.
+// The accumulator can keep running afterwards (later segments extend it).
+func (a *Airtime) Breakdown(end sim.Time) Breakdown {
+	a.close(end)
+	var b Breakdown
+	b.PerBucket = a.acc
+	for _, d := range a.acc {
+		b.Total += d
+	}
+	return b
+}
+
+// Breakdown is a run's airtime budget: how much of the channel timeline was
+// idle, carried each frame type alone, or had overlapping transmissions.
+// Collisions counts addressed frames that failed to decode (filled in by
+// Run.Finish, not part of the timeline partition).
+type Breakdown struct {
+	PerBucket  [NumBuckets]sim.Time `json:"per_bucket"`
+	Total      sim.Time             `json:"total"`
+	Collisions int64                `json:"collisions"`
+}
+
+// Of returns the time spent in one bucket.
+func (b Breakdown) Of(bk Bucket) sim.Time { return b.PerBucket[bk] }
+
+// Frac returns the fraction of the total spent in one bucket.
+func (b Breakdown) Frac(bk Bucket) float64 {
+	if b.Total <= 0 {
+		return 0
+	}
+	return b.PerBucket[bk].Seconds() / b.Total.Seconds()
+}
+
+// WriteText renders the budget as one aligned table row per bucket.
+func (b Breakdown) WriteText(w io.Writer) {
+	for bk := BucketIdle; bk < NumBuckets; bk++ {
+		fmt.Fprintf(w, "  %-10s %12v  %6.2f%%\n", bk, b.PerBucket[bk], 100*b.Frac(bk))
+	}
+	fmt.Fprintf(w, "  %-10s %12v  collisions=%d\n", "total", b.Total, b.Collisions)
+}

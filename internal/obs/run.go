@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"repro/internal/mac"
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// kernelSampleEvery decimates KindKernel records: one sample per this many
+// fired events keeps traces bounded while still profiling queue growth.
+const kernelSampleEvery = 1024
+
+// queueSampleEvery decimates KindQueue records per link.
+const queueSampleEvery = 64
+
+// Run wires one simulation run's tracer and metrics across the layers: it
+// implements phy.Probe (medium activity), mac.Events (delivery outcomes) and
+// the kernel's OnEvent hook, and owns the airtime accounting. Either of
+// tracer and metrics may be nil; core only installs the hooks at all when
+// observability was requested, so disabled runs pay nothing beyond the
+// hooks' own nil checks.
+type Run struct {
+	tracer  Tracer
+	metrics *Metrics
+	air     Airtime
+
+	firedBySrc [sim.NumSources]int64
+	collisions int64
+
+	// metrics shortcuts, resolved once so hot paths skip the map lookups
+	delay     *Histogram // delivery delay, microseconds
+	delivered *Counter
+	dropped   *Counter
+	txByKind  [NumBuckets]*Counter
+
+	queueSeen  map[int]int // per-link samples observed, for decimation
+	queueDepth *Gauge      // high-water MAC backlog across links
+
+	now func() sim.Time // simulation clock, for hooks with no timestamp of their own
+}
+
+// NewRun returns a Run emitting to tr (may be nil) and m (may be nil).
+func NewRun(tr Tracer, m *Metrics) *Run {
+	r := &Run{tracer: tr, metrics: m, queueSeen: map[int]int{}}
+	if m != nil {
+		r.delay = m.Histogram("mac.delay_us")
+		r.delivered = m.Counter("mac.delivered")
+		r.dropped = m.Counter("mac.dropped")
+		for b := BucketData; b < BucketOverlap; b++ {
+			r.txByKind[b] = m.Counter("phy.tx." + b.String())
+		}
+		r.queueDepth = m.Gauge("mac.queue_max")
+	}
+	return r
+}
+
+// Tracer returns the run's tracer (nil when tracing is off).
+func (r *Run) Tracer() Tracer { return r.tracer }
+
+// BindClock attaches the simulation clock, used to timestamp records emitted
+// from hooks that do not carry their own time (queue-depth samples). It
+// returns r for chaining.
+func (r *Run) BindClock(now func() sim.Time) *Run {
+	r.now = now
+	return r
+}
+
+// Start emits the run-open record delimiting this run in merged traces.
+func (r *Run) Start(scheme string, seed int64) {
+	if r.tracer != nil {
+		rec := Rec(0, KindRunStart)
+		rec.Value = seed
+		rec.Aux = scheme
+		r.tracer.Emit(rec)
+	}
+}
+
+// TxStart implements phy.Probe.
+func (r *Run) TxStart(f *phy.Frame, now sim.Time) {
+	b := BucketOf(f.Kind)
+	r.air.Start(b, now)
+	if c := r.txByKind[b]; c != nil {
+		c.Inc()
+	}
+	if r.tracer != nil {
+		rec := Rec(now, KindTxStart)
+		rec.Node = int(f.Src)
+		rec.Dur = f.AirTime()
+		rec.Aux = f.Kind.String()
+		r.tracer.Emit(rec)
+	}
+}
+
+// TxEnd implements phy.Probe.
+func (r *Run) TxEnd(f *phy.Frame, now sim.Time) {
+	r.air.End(BucketOf(f.Kind), now)
+	if r.tracer != nil {
+		rec := Rec(now, KindTxEnd)
+		rec.Node = int(f.Src)
+		rec.Aux = f.Kind.String()
+		r.tracer.Emit(rec)
+	}
+}
+
+// RxOutcome implements phy.Probe. Only addressed, non-signature failures
+// count as collisions: a bystander failing to decode a frame not meant for
+// it is normal spatial reuse, and missed signature triggers are reported
+// semantically by the DOMINO engines (KindTriggerMiss).
+func (r *Run) RxOutcome(f *phy.Frame, at phy.NodeID, ok bool, now sim.Time) {
+	if ok || f.Kind == phy.Signature || f.Dst != at {
+		return
+	}
+	r.collisions++
+	if r.tracer != nil {
+		rec := Rec(now, KindCollision)
+		rec.Node = int(at)
+		rec.Aux = f.Kind.String()
+		r.tracer.Emit(rec)
+	}
+}
+
+// Delivered implements mac.Events.
+func (r *Run) Delivered(p *mac.Packet, now sim.Time) {
+	if r.delivered != nil {
+		r.delivered.Inc()
+		r.delay.Observe((now - p.Enqueued).Microseconds())
+	}
+}
+
+// Dropped implements mac.Events.
+func (r *Run) Dropped(p *mac.Packet, now sim.Time) {
+	if r.dropped != nil {
+		r.dropped.Inc()
+	}
+	if r.tracer != nil {
+		rec := Rec(now, KindDrop)
+		rec.Link = p.Link.ID
+		rec.Value = int64(p.Retries)
+		r.tracer.Emit(rec)
+	}
+}
+
+// KernelHook returns the closure to install via sim.Kernel.OnEvent: it
+// tallies fired events per source and emits a decimated event-loop sample.
+func (r *Run) KernelHook() func(sim.EventInfo) {
+	return func(info sim.EventInfo) {
+		r.firedBySrc[info.Source]++
+		if r.tracer != nil && info.Fired%kernelSampleEvery == 0 {
+			rec := Rec(info.Now, KindKernel)
+			rec.Value = int64(info.Pending)
+			rec.Extra = int64(info.Fired)
+			r.tracer.Emit(rec)
+		}
+	}
+}
+
+// QueueSampler returns the per-link depth observer engines install on their
+// MAC queues (mac.Queue.OnDepth via the engines' queue-sampling hooks).
+// Samples are decimated per link; the high-water mark feeds mac.queue_max.
+func (r *Run) QueueSampler() func(link, depth int) {
+	return func(link, depth int) {
+		if r.queueDepth != nil {
+			r.queueDepth.SetMax(float64(depth))
+		}
+		if r.tracer == nil {
+			return
+		}
+		n := r.queueSeen[link]
+		r.queueSeen[link] = n + 1
+		if n%queueSampleEvery != 0 {
+			return
+		}
+		at := sim.Time(0)
+		if r.now != nil {
+			at = r.now()
+		}
+		rec := Rec(at, KindQueue)
+		rec.Link = link
+		rec.Value = int64(depth)
+		r.tracer.Emit(rec)
+	}
+}
+
+// Finish closes the airtime timeline at end, folds the run totals into the
+// metrics registry, emits the run-close record, and returns the breakdown.
+func (r *Run) Finish(end sim.Time) Breakdown {
+	b := r.air.Breakdown(end)
+	b.Collisions = r.collisions
+	if r.metrics != nil {
+		for bk := BucketIdle; bk < NumBuckets; bk++ {
+			r.metrics.Gauge("airtime." + bk.String() + "_frac").Set(b.Frac(bk))
+		}
+		r.metrics.Counter("phy.collisions").Add(r.collisions)
+		for s := sim.Source(0); s < sim.NumSources; s++ {
+			if r.firedBySrc[s] > 0 {
+				r.metrics.Counter("kernel.fired." + s.String()).Add(r.firedBySrc[s])
+			}
+		}
+	}
+	if r.tracer != nil {
+		rec := Rec(end, KindRunEnd)
+		rec.Value = r.collisions
+		r.tracer.Emit(rec)
+	}
+	return b
+}

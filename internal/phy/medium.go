@@ -22,7 +22,27 @@ type Medium struct {
 	Transmissions int
 	Delivered     int
 	Corrupted     int
+
+	probe Probe
 }
+
+// Probe observes medium activity for the observability layer. Callbacks run
+// inside the event loop after the medium state has settled; implementations
+// must not transmit or block. The medium stays obs-agnostic: obs implements
+// this interface, nothing here imports it.
+type Probe interface {
+	// TxStart fires when a frame goes on the air.
+	TxStart(f *Frame, now sim.Time)
+	// TxEnd fires when the frame leaves the air, before receptions are
+	// judged and listeners notified.
+	TxEnd(f *Frame, now sim.Time)
+	// RxOutcome fires once per judged reception with its decode outcome.
+	RxOutcome(f *Frame, at NodeID, ok bool, now sim.Time)
+}
+
+// SetProbe installs the activity probe (nil disables, the default). The
+// disabled cost is one nil check per transmission start/end.
+func (m *Medium) SetProbe(p Probe) { m.probe = p }
 
 type nodeState struct {
 	listener Listener
@@ -207,11 +227,14 @@ func (m *Medium) Transmit(src NodeID, f *Frame) {
 			carrier = append(carrier, NodeID(j))
 		}
 	}
+	if m.probe != nil {
+		m.probe.TxStart(f, m.k.Now())
+	}
 	// Notify only after the medium state has fully settled: a listener may
 	// react by transmitting, which re-enters this method.
 	m.notifyCarrier(carrier)
 
-	m.k.After(f.AirTime(), func() { m.endTransmission(tx, sig, sigN) })
+	m.k.After(f.AirTime(), func() { m.endTransmission(tx, sig, sigN) }).SetSource(sim.SrcPHY)
 }
 
 // foldInterference updates r's worst-case interference from the current state
@@ -274,6 +297,9 @@ func (m *Medium) endTransmission(tx *transmission, sig bool, sigN int) {
 		det *SignatureDetection
 	}
 	outcomes := make([]outcome, 0, len(tx.recs))
+	if m.probe != nil {
+		m.probe.TxEnd(tx.frame, m.k.Now())
+	}
 	for _, r := range tx.recs {
 		dst := &m.nodes[r.at]
 		dst.recs = removeReception(dst.recs, r)
@@ -282,6 +308,9 @@ func (m *Medium) endTransmission(tx *transmission, sig bool, sigN int) {
 			m.Delivered++
 		} else {
 			m.Corrupted++
+		}
+		if m.probe != nil {
+			m.probe.RxOutcome(tx.frame, r.at, ok, m.k.Now())
 		}
 		outcomes = append(outcomes, outcome{r, ok, det})
 	}

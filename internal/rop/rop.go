@@ -11,8 +11,10 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/ofdm"
 	"repro/internal/phy"
+	"repro/internal/sim"
 )
 
 // ToleranceDB is the adjacent-subchannel RSS difference the default layout
@@ -93,6 +95,29 @@ func Decode(a Assignment, queue func(phy.NodeID) int, rssAtAP func(phy.NodeID) f
 			continue
 		}
 		res.Values[c] = layout.EncodeQueue(queue(c))
+	}
+	return res
+}
+
+// DecodeObserved is Decode plus observability: when tr is non-nil it emits
+// one KindROPPoll record per assigned client in assignment order (Node the
+// client, Value the decoded backlog, Extra the subchannel, OK whether the
+// report symbol decoded), timestamped now. Iteration follows a.Clients, not
+// the result map, so the record order is deterministic.
+func DecodeObserved(a Assignment, queue func(phy.NodeID) int, rssAtAP func(phy.NodeID) float64,
+	noiseDBm float64, rng *rand.Rand, tr obs.Tracer, now sim.Time) Result {
+	res := Decode(a, queue, rssAtAP, noiseDBm, rng)
+	if tr != nil {
+		for i, c := range a.Clients {
+			rec := obs.Rec(now, obs.KindROPPoll)
+			rec.Node = int(c)
+			rec.Extra = int64(a.Subchannels[i])
+			if v, ok := res.Values[c]; ok {
+				rec.Value = int64(v)
+				rec.OK = true
+			}
+			tr.Emit(rec)
+		}
 	}
 	return res
 }

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"testing"
+)
+
+// Cancel must remove the event from the heap immediately: cancelled events
+// used to linger until the event loop skipped over them, inflating Pending()
+// and with it the observability layer's queue-depth samples.
+func TestCancelRemovesFromQueue(t *testing.T) {
+	k := New(1)
+	events := make([]*Event, 10)
+	for i := range events {
+		events[i] = k.At(Time(i+1)*Microsecond, func() {})
+	}
+	if k.Pending() != 10 {
+		t.Fatalf("pending = %d, want 10", k.Pending())
+	}
+	events[0].Cancel() // heap root
+	events[5].Cancel() // interior node
+	events[9].Cancel() // likely a leaf
+	if k.Pending() != 7 {
+		t.Fatalf("pending = %d after 3 cancels, want 7", k.Pending())
+	}
+	events[5].Cancel() // double-cancel is a no-op
+	if k.Pending() != 7 {
+		t.Fatalf("pending = %d after double cancel, want 7", k.Pending())
+	}
+	// The 7 survivors still fire in timestamp order after the removals.
+	count := 0
+	prev := Time(-1)
+	k.OnEvent(func(info EventInfo) {
+		if info.Now < prev {
+			t.Fatalf("heap order violated after removals: %v after %v", info.Now, prev)
+		}
+		prev = info.Now
+		count++
+	})
+	k.Run()
+	if count != 7 {
+		t.Fatalf("fired %d events, want 7", count)
+	}
+}
+
+// Cancelling from inside a callback at the same instant exercises removal of
+// events that are deep in the heap while the loop is mid-iteration.
+func TestCancelDuringRun(t *testing.T) {
+	k := New(1)
+	fired := []int{}
+	var victims []*Event
+	k.At(Microsecond, func() {
+		fired = append(fired, 0)
+		for _, v := range victims {
+			v.Cancel()
+		}
+	})
+	for i := 1; i <= 5; i++ {
+		i := i
+		victims = append(victims, k.At(Time(i+1)*Microsecond, func() { fired = append(fired, i) }))
+	}
+	survivor := 9
+	k.At(10*Microsecond, func() { fired = append(fired, survivor) })
+	k.Run()
+	if len(fired) != 2 || fired[0] != 0 || fired[1] != 9 {
+		t.Fatalf("fired = %v, want [0 9]", fired)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("pending = %d after run, want 0", k.Pending())
+	}
+}
+
+func TestOnEventHook(t *testing.T) {
+	k := New(1)
+	var infos []EventInfo
+	k.OnEvent(func(info EventInfo) { infos = append(infos, info) })
+	k.At(Microsecond, func() {}).SetSource(SrcTraffic)
+	k.At(2*Microsecond, func() {})
+	e := k.At(3*Microsecond, func() {})
+	e.Cancel()
+	k.Run()
+	if len(infos) != 2 {
+		t.Fatalf("hook ran %d times, want 2 (cancelled events are not observed)", len(infos))
+	}
+	if infos[0].Now != Microsecond || infos[0].Fired != 1 || infos[0].Source != SrcTraffic {
+		t.Fatalf("first info = %+v", infos[0])
+	}
+	if infos[0].Pending != 1 {
+		t.Fatalf("pending at first event = %d, want 1 (cancelled event was heap-removed)", infos[0].Pending)
+	}
+	if infos[1].Fired != 2 || infos[1].Source != SrcUnknown {
+		t.Fatalf("second info = %+v", infos[1])
+	}
+}
+
+// Events inherit the source of the event whose callback scheduled them.
+func TestSourceInheritance(t *testing.T) {
+	k := New(1)
+	var got []Source
+	k.OnEvent(func(info EventInfo) { got = append(got, info.Source) })
+	k.After(Microsecond, func() {
+		k.After(Microsecond, func() { // inherits SrcTraffic
+			k.After(Microsecond, func() {}).SetSource(SrcPHY) // retagged
+		})
+	}).SetSource(SrcTraffic)
+	k.Run()
+	want := []Source{SrcTraffic, SrcTraffic, SrcPHY}
+	if len(got) != len(want) {
+		t.Fatalf("observed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d source = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	for s := SrcUnknown; s < NumSources; s++ {
+		if s.String() == "" {
+			t.Fatalf("source %d has empty name", s)
+		}
+	}
+}
+
+// The event loop's fire path — pop, hook check, callback — must not allocate,
+// with or without a hook installed. Events are pre-scheduled outside the
+// measured region so only the firing path is on the meter.
+func TestOnEventNilHookZeroAllocs(t *testing.T) {
+	measure := func(hook func(EventInfo)) float64 {
+		k := New(1)
+		k.OnEvent(hook)
+		fn := func() {}
+		const perRound = 100
+		const rounds = 50
+		for i := 0; i < perRound*(rounds+5); i++ {
+			k.At(Time(i)*Microsecond, fn)
+		}
+		i := 0
+		return testing.AllocsPerRun(rounds, func() {
+			i++
+			k.RunUntil(Time(i*perRound-1) * Microsecond)
+		})
+	}
+	if got := measure(nil); got != 0 {
+		t.Fatalf("nil hook: %v allocs per %d fired events, want 0", got, 100)
+	}
+	var n uint64
+	if got := measure(func(info EventInfo) { n = info.Fired }); got != 0 {
+		t.Fatalf("counting hook: %v allocs per %d fired events, want 0", got, 100)
+	}
+	_ = n
+}
+
+// BenchmarkKernel pins the event-loop hot path with the OnEvent hook disabled
+// (the default for every simulation run without -trace/-metrics) against the
+// hook-enabled path. The disabled case is the acceptance gate: 0 allocs/op
+// and no regression vs the pre-obs kernel.
+func BenchmarkKernel(b *testing.B) {
+	churn := func(b *testing.B, hook func(EventInfo)) {
+		k := New(1)
+		k.OnEvent(hook)
+		var tick func()
+		n := 0
+		tick = func() {
+			n++
+			if n < b.N {
+				k.After(Microsecond, tick)
+			}
+		}
+		k.After(Microsecond, tick)
+		b.ReportAllocs()
+		b.ResetTimer()
+		k.Run()
+	}
+	b.Run("disabled", func(b *testing.B) {
+		churn(b, nil)
+	})
+	b.Run("enabled", func(b *testing.B) {
+		var fired uint64
+		churn(b, func(info EventInfo) { fired = info.Fired })
+		_ = fired
+	})
+}

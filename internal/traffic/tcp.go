@@ -103,7 +103,7 @@ func NewTCPFlow(k *sim.Kernel, e mac.Engine, id int, data, ack *topo.Link, cfg T
 func (f *TCPFlow) Start() {
 	if f.cfg.RateMbps > 0 {
 		f.appTokens = f.cfg.InitCwnd
-		f.k.After(f.tokenInterval(), f.tokenTick)
+		f.k.After(f.tokenInterval(), f.tokenTick).SetSource(sim.SrcTraffic)
 	}
 	f.trySend()
 }

@@ -40,7 +40,7 @@ func (u *UDP) Start() {
 	}
 	interval := u.interval()
 	phase := sim.Time(u.k.Rand().Int63n(int64(interval) + 1))
-	u.k.After(phase, u.emit)
+	u.k.After(phase, u.emit).SetSource(sim.SrcTraffic)
 }
 
 func (u *UDP) interval() sim.Time {

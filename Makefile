@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-obs benchreport benchreport-obs
+.PHONY: ci vet build test race race-hot bench bench-obs bench-kernel benchreport benchreport-obs benchreport-kernel
 
-ci: vet build test race bench-obs
+ci: vet build test race race-hot bench-obs bench-kernel
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +20,13 @@ test:
 
 race:
 	$(GO) test -race ./internal/...
+
+# Race re-run of the hot-path packages this PR rewrote: the pooled kernel,
+# the planned FFT (shared immutable plans across goroutines) and the obs
+# layer. Focused and fast enough to run on every change even when the full
+# race sweep would be skipped.
+race-hot:
+	$(GO) test -race -count=1 ./internal/sim ./internal/ofdm ./internal/obs
 
 # Full benchmark sweep (one iteration per table/figure; laptop-minutes).
 bench:
@@ -34,6 +41,13 @@ bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkKernel' -benchmem -benchtime=1000x ./internal/sim
 	$(GO) test -run '^$$' -bench 'BenchmarkMetric' -benchmem -benchtime=1000x ./internal/gold
 
+# Event-kernel + ROP FFT gate at a quick configuration: exits non-zero when
+# any pooled hot path (kernel At/After/fire, planned FFT256, poll round)
+# allocates in steady state. The committed BENCH_kernel.json comes from
+# benchreport-kernel below, not from this target.
+bench-kernel:
+	$(GO) run ./cmd/benchreport -kernel -runs 2 -duration 500ms -out /tmp/BENCH_kernel_ci.json
+
 # Refresh BENCH_parallel.json: harness speedup + correlator hot-path numbers.
 benchreport:
 	$(GO) run ./cmd/benchreport
@@ -43,3 +57,8 @@ benchreport:
 # disabled-path regression fail the run).
 benchreport-obs:
 	$(GO) run ./cmd/benchreport -obs
+
+# Refresh BENCH_kernel.json at the same workload BENCH_parallel.json records
+# (16 runs x 2s), so fig14_improvement_pct compares like for like.
+benchreport-kernel:
+	$(GO) run ./cmd/benchreport -kernel

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/ofdm"
+	"repro/internal/sim"
+)
+
+// kernelReport is BENCH_kernel.json: the event-kernel and ROP-PHY hot-path
+// numbers this PR's pooled queue and planned FFT are accountable to.
+type kernelReport struct {
+	GoMaxProcs    int    `json:"gomaxprocs"`
+	NumCPU        int    `json:"num_cpu"`
+	Fig14Runs     int    `json:"fig14_runs"`
+	Fig14Duration string `json:"fig14_duration"`
+
+	// Pooled-kernel micro-benchmarks. The allocs_per_op fields are the
+	// acceptance gate: At/After scheduling and the fire path must allocate
+	// nothing once the pool is warm.
+	KernelAtCancel  microBench `json:"kernel_at_cancel"`
+	KernelAfterFire microBench `json:"kernel_after_fire"`
+	KernelRunDrain  microBench `json:"kernel_run_drain_per_event"`
+	// The retained container/heap queue on the same churn workload, for the
+	// before/after story.
+	KernelReferenceAfterFire microBench `json:"kernel_reference_after_fire"`
+	KernelSpeedup            float64    `json:"kernel_speedup"`
+
+	// Planned FFT vs the retained naive reference, 256 points (the ROP
+	// control-symbol size). fft256_planned must report 0 allocs/op.
+	FFT256Planned   microBench `json:"fft256_planned"`
+	FFT256Reference microBench `json:"fft256_reference"`
+	FFT256Speedup   float64    `json:"fft256_speedup"`
+	// One full ROP round (modulate + channel + FFT + demod) on a reused
+	// Poller, default 24-subchannel layout, 2 clients.
+	PollRound microBench `json:"poll_round"`
+
+	// End-to-end: Fig 14 serial wall clock, compared against the
+	// BENCH_parallel.json recording when its config matches.
+	Fig14SerialSec         float64 `json:"fig14_serial_sec"`
+	BaselineFig14SerialSec float64 `json:"baseline_fig14_serial_sec,omitempty"`
+	Fig14ImprovementPct    float64 `json:"fig14_improvement_pct,omitempty"`
+}
+
+// benchAtCancel measures schedule + eager cancel on a warm pool.
+func benchAtCancel() testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		k := sim.New(1)
+		fn := func() {}
+		for i := 0; i < 8; i++ {
+			k.At(sim.Time(i), fn)
+		}
+		k.Run()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.At(k.Now()+sim.Microsecond, fn).Cancel()
+		}
+	})
+}
+
+// benchAfterFire measures the After + fire cycle via a self-rescheduling
+// event chain (the kernel's steady-state shape in every engine).
+func benchAfterFire() testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		k := sim.New(1)
+		var tick func()
+		n := 0
+		tick = func() {
+			n++
+			if n < b.N {
+				k.After(sim.Microsecond, tick)
+			}
+		}
+		k.After(sim.Microsecond, tick)
+		b.ReportAllocs()
+		b.ResetTimer()
+		k.Run()
+	})
+}
+
+// benchRunDrain schedules events in batches and drains them with RunUntil,
+// reporting the per-event cost of the pop-and-run loop with a deeper heap
+// (512 outstanding events) than the chain benchmark's single event.
+func benchRunDrain() testing.BenchmarkResult {
+	const batch = 512
+	return testing.Benchmark(func(b *testing.B) {
+		k := sim.New(1)
+		fn := func() {}
+		rng := rand.New(rand.NewSource(7))
+		b.ReportAllocs()
+		b.ResetTimer()
+		done := 0
+		for done < b.N {
+			n := batch
+			if left := b.N - done; left < n {
+				n = left
+			}
+			base := k.Now()
+			for i := 0; i < n; i++ {
+				k.At(base+sim.Time(1+rng.Intn(batch)), fn)
+			}
+			k.RunUntil(base + batch)
+			done += n
+		}
+	})
+}
+
+func benchFFT256(planned bool) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		x := make([]complex128, 256)
+		x[1] = 1
+		ofdm.PlanFor(256)
+		b.ReportAllocs()
+		b.ResetTimer()
+		if planned {
+			for i := 0; i < b.N; i++ {
+				ofdm.FFT(x)
+			}
+			return
+		}
+		for i := 0; i < b.N; i++ {
+			ofdm.ReferenceFFT(x)
+		}
+	})
+}
+
+func benchPollRound() testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		l := ofdm.DefaultLayout()
+		p := ofdm.NewPoller(l)
+		rng := rand.New(rand.NewSource(3))
+		clients := []ofdm.Client{{Subchannel: 0, GainDB: 3}, {Subchannel: 5}}
+		values := []int{17, 42}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Poll(clients, values, 0.05, rng)
+		}
+	})
+}
+
+func kernelReportMain(out, baselinePath string, runs int, duration time.Duration, seed int64) {
+	rep := kernelReport{
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Fig14Runs:     runs,
+		Fig14Duration: duration.String(),
+	}
+
+	fmt.Fprintln(os.Stderr, "kernel micro-benchmarks, pooled vs reference queue...")
+	kr := minRounds(3,
+		benchAtCancel,
+		benchAfterFire,
+		benchRunDrain,
+		func() testing.BenchmarkResult {
+			sim.SetReferenceQueue(true)
+			defer sim.SetReferenceQueue(false)
+			return benchAfterFire()
+		},
+	)
+	rep.KernelAtCancel = micro(kr[0])
+	rep.KernelAfterFire = micro(kr[1])
+	rep.KernelRunDrain = micro(kr[2])
+	rep.KernelReferenceAfterFire = micro(kr[3])
+	if rep.KernelAfterFire.NsPerOp > 0 {
+		rep.KernelSpeedup = rep.KernelReferenceAfterFire.NsPerOp / rep.KernelAfterFire.NsPerOp
+	}
+
+	fmt.Fprintln(os.Stderr, "FFT 256 planned vs reference, poll round...")
+	fr := minRounds(3,
+		func() testing.BenchmarkResult { return benchFFT256(true) },
+		func() testing.BenchmarkResult { return benchFFT256(false) },
+		benchPollRound,
+	)
+	rep.FFT256Planned = micro(fr[0])
+	rep.FFT256Reference = micro(fr[1])
+	rep.PollRound = micro(fr[2])
+	if rep.FFT256Planned.NsPerOp > 0 {
+		rep.FFT256Speedup = rep.FFT256Reference.NsPerOp / rep.FFT256Planned.NsPerOp
+	}
+
+	fmt.Fprintf(os.Stderr, "fig14: %d runs x %v, workers=1...\n", runs, duration)
+	o := exp.Options{
+		Seed: seed, Duration: sim.Time(duration.Nanoseconds()),
+		Warmup: 300 * sim.Millisecond, Runs: runs, Workers: 1,
+	}
+	t0 := time.Now()
+	exp.Fig14(o)
+	rep.Fig14SerialSec = time.Since(t0).Seconds()
+
+	// Compare against the recorded parallel-harness baseline, but only when
+	// that file measured the same workload.
+	if data, err := os.ReadFile(baselinePath); err == nil {
+		var base struct {
+			Fig14Runs     int       `json:"fig14_runs"`
+			Fig14Duration string    `json:"fig14_duration"`
+			Fig14         wallClock `json:"fig14"`
+		}
+		if json.Unmarshal(data, &base) == nil && base.Fig14.SerialSec > 0 {
+			if base.Fig14Runs == runs && base.Fig14Duration == duration.String() {
+				rep.BaselineFig14SerialSec = base.Fig14.SerialSec
+				rep.Fig14ImprovementPct = 100 * (base.Fig14.SerialSec - rep.Fig14SerialSec) / base.Fig14.SerialSec
+			} else {
+				fmt.Fprintf(os.Stderr, "note: %s measured %d runs x %s, not comparable to this config\n",
+					baselinePath, base.Fig14Runs, base.Fig14Duration)
+			}
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "note: no baseline at %s, skipping the wall-clock comparison\n", baselinePath)
+	}
+
+	// Hard gates: the pooled schedule/fire paths and the planned FFT must be
+	// allocation-free in steady state.
+	fail := false
+	for _, g := range []struct {
+		name string
+		mb   microBench
+	}{
+		{"kernel_at_cancel", rep.KernelAtCancel},
+		{"kernel_after_fire", rep.KernelAfterFire},
+		{"kernel_run_drain_per_event", rep.KernelRunDrain},
+		{"fft256_planned", rep.FFT256Planned},
+		{"poll_round", rep.PollRound},
+	} {
+		if g.mb.AllocsPerOp != 0 {
+			fmt.Fprintf(os.Stderr, "FAIL: %s allocates %d/op in steady state, want 0\n", g.name, g.mb.AllocsPerOp)
+			fail = true
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: After+fire %.1f ns/op (reference %.1f, %.2fx), FFT256 %.0f ns/op (reference %.0f, %.2fx), fig14 serial %.2fs",
+		out,
+		rep.KernelAfterFire.NsPerOp, rep.KernelReferenceAfterFire.NsPerOp, rep.KernelSpeedup,
+		rep.FFT256Planned.NsPerOp, rep.FFT256Reference.NsPerOp, rep.FFT256Speedup,
+		rep.Fig14SerialSec)
+	if rep.BaselineFig14SerialSec > 0 {
+		fmt.Printf(" (%+.1f%% vs %.2fs baseline)", -rep.Fig14ImprovementPct, rep.BaselineFig14SerialSec)
+	}
+	fmt.Println()
+	if fail {
+		os.Exit(1)
+	}
+}

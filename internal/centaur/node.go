@@ -39,12 +39,12 @@ type node struct {
 	pendLink *topo.Link
 	fixed    bool // pending transmission uses the fixed scheduled backoff
 
-	fireEv    *sim.Event
+	fireEv    sim.Event
 	fireBase  sim.Time
 	busySince sim.Time // when carrier sensing last turned busy
 	nav       sim.Time // virtual carrier sense: medium reserved until here
-	releaseEv *sim.Event
-	timeoutEv *sim.Event
+	releaseEv sim.Event
+	timeoutEv sim.Event
 }
 
 // setNAV reserves the medium until t (802.11 virtual carrier sensing: a
@@ -87,7 +87,7 @@ func (n *node) serveEpoch() {
 		wait = 0
 	}
 	n.releaseEv = n.e.k.After(wait, func() {
-		n.releaseEv = nil
+		n.releaseEv = sim.Event{}
 		if n.st != stIdle {
 			return
 		}
@@ -130,7 +130,7 @@ func (n *node) serveUplink() {
 // tryScheduleFire arms the transmission if the channel is idle (physically
 // and per the NAV).
 func (n *node) tryScheduleFire() {
-	if n.st != stBackoff || n.fireEv != nil || n.e.medium.Busy(n.id) ||
+	if n.st != stBackoff || n.fireEv.Scheduled() || n.e.medium.Busy(n.id) ||
 		n.e.k.Now() < n.nav {
 		return
 	}
@@ -158,7 +158,7 @@ func (n *node) CarrierChanged(busy bool) {
 		if n.e.debug != nil {
 			n.e.debug(n.id, "busy-cancel?")
 		}
-		if n.fireEv != nil && n.fireEv.At() > n.e.k.Now() {
+		if n.fireEv.Scheduled() && n.fireEv.At() > n.e.k.Now() {
 			if !n.fixed {
 				// Random DCF backoff freezes and resumes; the fixed
 				// scheduled backoff restarts whole (that is what keeps
@@ -173,7 +173,7 @@ func (n *node) CarrierChanged(busy bool) {
 				}
 			}
 			n.fireEv.Cancel()
-			n.fireEv = nil
+			n.fireEv = sim.Event{}
 		}
 		return
 	}
@@ -181,7 +181,7 @@ func (n *node) CarrierChanged(busy bool) {
 }
 
 func (n *node) fire() {
-	n.fireEv = nil
+	n.fireEv = sim.Event{}
 	if n.e.debug != nil {
 		n.e.debug(n.id, "fire")
 	}
@@ -219,9 +219,9 @@ func (n *node) FrameReceived(f *phy.Frame, ok bool, _ *phy.SignatureDetection) {
 		// exchange's owner re-enters contention on equal footing.
 		if f.Kind == phy.Data {
 			n.setNAV(n.e.k.Now() + phy.SIFS + phy.Airtime(phy.AckBytes, n.e.cfg.Rate))
-			if n.fireEv != nil && n.fireEv.At() > n.e.k.Now() {
+			if n.fireEv.Scheduled() && n.fireEv.At() > n.e.k.Now() {
 				n.fireEv.Cancel()
-				n.fireEv = nil
+				n.fireEv = sim.Event{}
 			}
 		}
 		return
@@ -233,9 +233,9 @@ func (n *node) FrameReceived(f *phy.Frame, ok bool, _ *phy.SignatureDetection) {
 			if n.e.medium.Transmitting(n.id) {
 				return
 			}
-			if n.fireEv != nil {
+			if n.fireEv.Scheduled() {
 				n.fireEv.Cancel()
-				n.fireEv = nil
+				n.fireEv = sim.Event{}
 			}
 			dur := phy.Airtime(phy.AckBytes, n.e.cfg.Rate)
 			n.e.medium.Transmit(n.id, &phy.Frame{
@@ -248,9 +248,9 @@ func (n *node) FrameReceived(f *phy.Frame, ok bool, _ *phy.SignatureDetection) {
 		if n.st != stWaitAck || n.pending == nil || f.Payload.(*mac.Packet) != n.pending {
 			return
 		}
-		if n.timeoutEv != nil {
+		if n.timeoutEv.Scheduled() {
 			n.timeoutEv.Cancel()
-			n.timeoutEv = nil
+			n.timeoutEv = sim.Event{}
 		}
 		p := n.pending
 		fixed := n.fixed
@@ -267,7 +267,7 @@ func (n *node) FrameReceived(f *phy.Frame, ok bool, _ *phy.SignatureDetection) {
 }
 
 func (n *node) ackTimeout() {
-	n.timeoutEv = nil
+	n.timeoutEv = sim.Event{}
 	if n.st != stWaitAck || n.pending == nil {
 		return
 	}

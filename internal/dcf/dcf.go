@@ -98,11 +98,11 @@ type node struct {
 	cw        int
 	counter   int
 	rr        int
-	fireEv    *sim.Event
+	fireEv    sim.Event
 	fireBase  sim.Time // when DIFS+counting began
 	busySince sim.Time // when carrier sensing last turned busy
 	nav       sim.Time // virtual carrier sense (protects overheard ACKs)
-	timeoutEv *sim.Event
+	timeoutEv sim.Event
 }
 
 // setNAV reserves the medium until t (802.11 virtual carrier sensing).
@@ -210,7 +210,7 @@ func (n *node) startContention() {
 // tryScheduleFire arms the transmit event if the channel is idle; otherwise
 // the node waits for CarrierChanged(false).
 func (n *node) tryScheduleFire() {
-	if n.st != stBackoff || n.fireEv != nil || n.e.medium.Busy(n.id) ||
+	if n.st != stBackoff || n.fireEv.Scheduled() || n.e.medium.Busy(n.id) ||
 		n.e.k.Now() < n.nav {
 		return
 	}
@@ -231,7 +231,7 @@ func (n *node) CarrierChanged(busy bool) {
 		// A fire due at this exact instant is committed: a station cannot
 		// abort within its RX/TX turnaround, which is how two stations
 		// drawing the same backoff slot genuinely collide.
-		if n.fireEv != nil && n.fireEv.At() > n.e.k.Now() {
+		if n.fireEv.Scheduled() && n.fireEv.At() > n.e.k.Now() {
 			elapsed := n.e.k.Now() - n.fireBase - n.e.cfg.DIFS
 			if elapsed > 0 {
 				consumed := int(elapsed / n.e.cfg.SlotTime)
@@ -241,7 +241,7 @@ func (n *node) CarrierChanged(busy bool) {
 				n.counter -= consumed
 			}
 			n.fireEv.Cancel()
-			n.fireEv = nil
+			n.fireEv = sim.Event{}
 		}
 		return
 	}
@@ -250,7 +250,7 @@ func (n *node) CarrierChanged(busy bool) {
 
 // fire transmits the pending data frame.
 func (n *node) fire() {
-	n.fireEv = nil
+	n.fireEv = sim.Event{}
 	if n.st != stBackoff || n.pending == nil {
 		return
 	}
@@ -289,9 +289,9 @@ func (n *node) FrameReceived(f *phy.Frame, ok bool, _ *phy.SignatureDetection) {
 				until = f.NAV
 			}
 			n.setNAV(until)
-			if n.fireEv != nil && n.fireEv.At() > n.e.k.Now() {
+			if n.fireEv.Scheduled() && n.fireEv.At() > n.e.k.Now() {
 				n.fireEv.Cancel()
-				n.fireEv = nil
+				n.fireEv = sim.Event{}
 			}
 		}
 		return
@@ -314,9 +314,9 @@ func (n *node) sendAck(f *phy.Frame) {
 		// Sending the ACK pre-empts a pending backoff fire; contention
 		// resumes when the channel next goes idle (the ACK itself keeps
 		// neighbours deferring meanwhile).
-		if n.fireEv != nil {
+		if n.fireEv.Scheduled() {
 			n.fireEv.Cancel()
-			n.fireEv = nil
+			n.fireEv = sim.Event{}
 		}
 		dur := n.e.ackAirtime()
 		n.e.medium.Transmit(n.id, &phy.Frame{
@@ -335,9 +335,9 @@ func (n *node) onAck(f *phy.Frame) {
 	if f.Payload.(*mac.Packet) != n.pending {
 		return
 	}
-	if n.timeoutEv != nil {
+	if n.timeoutEv.Scheduled() {
 		n.timeoutEv.Cancel()
-		n.timeoutEv = nil
+		n.timeoutEv = sim.Event{}
 	}
 	p := n.pending
 	n.pending = nil
@@ -349,7 +349,7 @@ func (n *node) onAck(f *phy.Frame) {
 
 // ackTimeout retries or drops the pending packet.
 func (n *node) ackTimeout() {
-	n.timeoutEv = nil
+	n.timeoutEv = sim.Event{}
 	if n.st != stWaitAck || n.pending == nil {
 		return
 	}

@@ -32,7 +32,7 @@ type action struct {
 // as time reference", §3.4).
 type armedTx struct {
 	act action
-	ev  *sim.Event
+	ev  sim.Event
 	at  sim.Time
 }
 
@@ -58,9 +58,9 @@ type apNode struct {
 
 	inflight     []*mac.Packet
 	inflightLink *topo.Link
-	ackEv        *sim.Event
+	ackEv        sim.Event
 
-	watchdog *sim.Event
+	watchdog sim.Event
 }
 
 // receiveSchedule integrates newly arrived slots (wired dispatch callback).
@@ -126,16 +126,16 @@ func (ap *apNode) bootstrap() {
 // armWatchdog (re)arms the silence timer: if the trigger chain dies, the AP
 // self-starts its next action, the same way it started the first batch.
 func (ap *apNode) armWatchdog() {
-	if ap.watchdog != nil {
+	if ap.watchdog.Scheduled() {
 		ap.watchdog.Cancel()
-		ap.watchdog = nil
+		ap.watchdog = sim.Event{}
 	}
 	if len(ap.actions) == 0 && ap.armed == nil {
 		return
 	}
 	d := sim.Time(ap.e.cfg.WatchdogSlots) * ap.e.cfg.slotDuration()
 	ap.watchdog = ap.e.k.After(d, func() {
-		ap.watchdog = nil
+		ap.watchdog = sim.Event{}
 		ap.e.SelfStarts++
 		ap.e.trace(TraceEvent{Slot: -1, Kind: "selfstart", Node: ap.id})
 		if ap.armed == nil {
@@ -239,9 +239,9 @@ func (ap *apNode) sendData(act action) {
 	// slot) counts as missed and retries; it must never be silently
 	// clobbered.
 	if ap.inflight != nil {
-		if ap.ackEv != nil {
+		if ap.ackEv.Scheduled() {
 			ap.ackEv.Cancel()
-			ap.ackEv = nil
+			ap.ackEv = sim.Event{}
 		}
 		prev, prevLink := ap.inflight, ap.inflightLink
 		ap.inflight = nil
@@ -463,7 +463,7 @@ func (ap *apNode) doPollNow(slotIdx int) {
 // at the head of its queue; the next scheduled slot for this destination
 // retransmits it.
 func (ap *apNode) ackTimeout(link *topo.Link) {
-	ap.ackEv = nil
+	ap.ackEv = sim.Event{}
 	if ap.inflight == nil {
 		return
 	}
@@ -476,7 +476,7 @@ func (ap *apNode) ackTimeout(link *topo.Link) {
 // CarrierChanged implements phy.Listener: channel activity is a liveness
 // signal for the watchdog.
 func (ap *apNode) CarrierChanged(busy bool) {
-	if busy && ap.watchdog != nil {
+	if busy && ap.watchdog.Scheduled() {
 		ap.armWatchdog()
 	}
 }
@@ -558,9 +558,9 @@ func (ap *apNode) FrameReceived(f *phy.Frame, ok bool, det *phy.SignatureDetecti
 		}
 		am := f.Payload.(*ackMeta)
 		if ap.inflight != nil && len(am.pkts) > 0 && len(ap.inflight) > 0 && am.pkts[0] == ap.inflight[0] {
-			if ap.ackEv != nil {
+			if ap.ackEv.Scheduled() {
 				ap.ackEv.Cancel()
-				ap.ackEv = nil
+				ap.ackEv = sim.Event{}
 			}
 			bundle := ap.inflight
 			ap.inflight = nil

@@ -22,7 +22,7 @@ type clientNode struct {
 
 	inflight []*mac.Packet
 	txStart  sim.Time
-	ackEv    *sim.Event
+	ackEv    sim.Event
 }
 
 // CarrierChanged implements phy.Listener.
@@ -78,9 +78,9 @@ func (c *clientNode) FrameReceived(f *phy.Frame, ok bool, det *phy.SignatureDete
 		}
 		am := f.Payload.(*ackMeta)
 		if c.inflight != nil && len(am.pkts) > 0 && len(c.inflight) > 0 && am.pkts[0] == c.inflight[0] {
-			if c.ackEv != nil {
+			if c.ackEv.Scheduled() {
 				c.ackEv.Cancel()
-				c.ackEv = nil
+				c.ackEv = sim.Event{}
 			}
 			bundle := c.inflight
 			c.inflight = nil
@@ -159,9 +159,9 @@ func (c *clientNode) sendUplink() {
 		return
 	}
 	if c.inflight != nil {
-		if c.ackEv != nil {
+		if c.ackEv.Scheduled() {
 			c.ackEv.Cancel()
-			c.ackEv = nil
+			c.ackEv = sim.Event{}
 		}
 		prev := c.inflight
 		c.inflight = nil
@@ -197,7 +197,7 @@ func (c *clientNode) sendUplink() {
 }
 
 func (c *clientNode) ackTimeout() {
-	c.ackEv = nil
+	c.ackEv = sim.Event{}
 	if c.inflight == nil {
 		return
 	}

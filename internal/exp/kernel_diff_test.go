@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// TestFig14TraceMatchesReferenceKernel is the tentpole's end-to-end safety
+// net: the pooled monomorphic event queue must not perturb the simulation in
+// any observable way. It runs the small Fig 14 configuration twice — once on
+// the pooled kernel, once on the retained container/heap reference queue —
+// and demands byte-identical NDJSON traces.
+func TestFig14TraceMatchesReferenceKernel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run Fig 14 trace comparison")
+	}
+	run := func() *bytes.Buffer {
+		var buf bytes.Buffer
+		o := fig14TraceOpts(1)
+		o.TraceSink = &buf
+		Fig14(o)
+		return &buf
+	}
+	pooled := run()
+
+	sim.SetReferenceQueue(true)
+	reference := run()
+	sim.SetReferenceQueue(false)
+
+	if pooled.Len() == 0 {
+		t.Fatal("traced Fig 14 produced an empty trace")
+	}
+	if !bytes.Equal(pooled.Bytes(), reference.Bytes()) {
+		t.Fatalf("trace differs between pooled kernel (%d bytes) and reference queue (%d bytes)",
+			pooled.Len(), reference.Len())
+	}
+}
+
+// TestDCFScenarioMatchesReferenceKernel repeats the differential check on a
+// single saturated DCF run over the hidden-terminal topology (heavy Cancel
+// traffic: backoff pauses and NAV updates cancel armed fire events
+// constantly, exercising the pool's eager-removal path).
+func TestDCFScenarioMatchesReferenceKernel(t *testing.T) {
+	scenario := func() (obs.Buffer, core.Result) {
+		var buf obs.Buffer
+		res := core.Run(core.Scenario{
+			Net:      topo.Figure7(),
+			Downlink: true,
+			Uplink:   true,
+			Scheme:   core.DCF,
+			Seed:     7,
+			Duration: 300 * sim.Millisecond,
+			Traffic:  core.Saturated,
+			Tracer:   &buf,
+		})
+		return buf, res
+	}
+	pooledBuf, pooledRes := scenario()
+
+	sim.SetReferenceQueue(true)
+	refBuf, refRes := scenario()
+	sim.SetReferenceQueue(false)
+
+	pr, rr := pooledBuf.Records(), refBuf.Records()
+	if len(pr) == 0 {
+		t.Fatal("DCF run produced no trace records")
+	}
+	if len(pr) != len(rr) {
+		t.Fatalf("record counts differ: pooled %d, reference %d", len(pr), len(rr))
+	}
+	for i := range pr {
+		if pr[i] != rr[i] {
+			t.Fatalf("record %d diverged:\npooled    %+v\nreference %+v", i, pr[i], rr[i])
+		}
+	}
+	if pooledRes.AggregateMbps != refRes.AggregateMbps {
+		t.Fatalf("throughput diverged: pooled %.6f, reference %.6f",
+			pooledRes.AggregateMbps, refRes.AggregateMbps)
+	}
+}

@@ -52,28 +52,40 @@ func (l Layout) perSide() int {
 // default: 12 per spectral half).
 func (l Layout) NumSubchannels() int { return 2 * l.perSide() }
 
-// SubcarrierIndices returns the FFT bin indices of subchannel s's data
-// subcarriers. Subchannels 0..perSide-1 sit on positive frequencies rising
-// from DC; perSide..2·perSide-1 mirror onto negative frequencies (bins
-// N/2+1..N-1), exactly as drawn in paper Fig 3. The DC bin is never used.
-func (l Layout) SubcarrierIndices(s int) []int {
+// subchannelStart resolves subchannel s to its first data subcarrier offset
+// on the positive half and whether it mirrors onto negative frequencies.
+// Together with bin it lets hot paths walk a subchannel's FFT bins without
+// materialising an index slice.
+func (l Layout) subchannelStart(s int) (start int, mirror bool) {
 	side := l.perSide()
 	if s < 0 || s >= 2*side {
 		panic(fmt.Sprintf("ofdm: subchannel %d out of range (have %d)", s, 2*side))
 	}
 	span := l.PerSub + l.Guard
-	out := make([]int, l.PerSub)
 	if s < side {
-		start := 1 + s*span
-		for i := range out {
-			out[i] = start + i
-		}
-		return out
+		return 1 + s*span, false
 	}
-	// Negative side: mirror of the positive allocation.
-	start := 1 + (s-side)*span
+	return 1 + (s-side)*span, true
+}
+
+// bin returns the FFT bin index of data subcarrier i for a subchannel
+// resolved by subchannelStart.
+func (l Layout) bin(start int, mirror bool, i int) int {
+	if mirror {
+		return l.N - (start + i)
+	}
+	return start + i
+}
+
+// SubcarrierIndices returns the FFT bin indices of subchannel s's data
+// subcarriers. Subchannels 0..perSide-1 sit on positive frequencies rising
+// from DC; perSide..2·perSide-1 mirror onto negative frequencies (bins
+// N/2+1..N-1), exactly as drawn in paper Fig 3. The DC bin is never used.
+func (l Layout) SubcarrierIndices(s int) []int {
+	start, mirror := l.subchannelStart(s)
+	out := make([]int, l.PerSub)
 	for i := range out {
-		out[i] = l.N - (start + i)
+		out[i] = l.bin(start, mirror, i)
 	}
 	return out
 }

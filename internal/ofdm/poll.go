@@ -22,25 +22,70 @@ type Client struct {
 	DelaySamples int
 }
 
-// Modulate builds one client's time-domain symbol (CP + body) carrying the
-// 2ASK-encoded value: bit b of value drives subcarrier b of the subchannel
-// at amplitude 1 (bit set) or 0. 2ASK is used because a single symbol gives
-// no phase reference (paper §3.1).
-func Modulate(l Layout, sub int, value int) []complex128 {
-	freq := make([]complex128, l.N)
-	idx := l.SubcarrierIndices(sub)
-	for b, bin := range idx {
-		if value&(1<<uint(len(idx)-1-b)) != 0 {
-			freq[bin] = 1
+// Poller simulates ROP rounds for one layout with all scratch state — the
+// FFT plan, modulation buffers, the receive window and the result slices —
+// allocated once at construction. Poll reuses the scratch, so a round
+// allocates nothing in steady state; the slices inside the returned
+// PollResult alias that scratch and are valid only until the next Poll call.
+// A Poller is not safe for concurrent use (the shared Plan underneath is).
+type Poller struct {
+	l        Layout
+	plan     *Plan
+	freq     []complex128 // modulation frequency-domain scratch (N)
+	sym      []complex128 // one client's time-domain symbol (CP + N)
+	rx       []complex128 // superimposed receive buffer (CP + N)
+	window   []complex128 // common FFT window (N)
+	spectrum []float64
+	values   []int
+	ok       []bool
+}
+
+// NewPoller builds a poller for the layout, sharing the cached FFT plan for
+// l.N with every other user of that size.
+func NewPoller(l Layout) *Poller {
+	return &Poller{
+		l:        l,
+		plan:     PlanFor(l.N),
+		freq:     make([]complex128, l.N),
+		sym:      make([]complex128, l.SymbolSamples()),
+		rx:       make([]complex128, l.SymbolSamples()),
+		window:   make([]complex128, l.N),
+		spectrum: make([]float64, l.N),
+		values:   make([]int, 0, l.NumSubchannels()),
+		ok:       make([]bool, 0, l.NumSubchannels()),
+	}
+}
+
+// modulate builds one client's time-domain symbol (CP + body) into p.sym,
+// carrying the 2ASK-encoded value: bit b of value drives subcarrier b of the
+// subchannel at amplitude 1 (bit set) or 0. 2ASK is used because a single
+// symbol gives no phase reference (paper §3.1).
+func (p *Poller) modulate(sub, value int) {
+	freq := p.freq
+	for i := range freq {
+		freq[i] = 0
+	}
+	start, mirror := p.l.subchannelStart(sub)
+	for b := 0; b < p.l.PerSub; b++ {
+		if value&(1<<uint(p.l.PerSub-1-b)) != 0 {
+			freq[p.l.bin(start, mirror, b)] = 1
 		}
 	}
-	IFFT(freq)
-	// Scale so each active subcarrier arrives with unit amplitude after the
-	// receiver FFT (IFFT/FFT round trip through our normalisation restores
-	// amplitudes as-is; no extra scaling needed).
-	out := make([]complex128, l.CPLen+l.N)
-	copy(out, freq[l.N-l.CPLen:])
-	copy(out[l.CPLen:], freq)
+	p.plan.Inverse(freq)
+	// The IFFT/FFT round trip through our normalisation restores active
+	// subcarriers at unit amplitude; no extra scaling needed.
+	copy(p.sym, freq[p.l.N-p.l.CPLen:])
+	copy(p.sym[p.l.CPLen:], freq)
+}
+
+// Modulate builds one client's time-domain symbol (CP + body) as a fresh
+// slice. Convenience wrapper over Poller.modulate for callers outside the
+// per-round hot path.
+func Modulate(l Layout, sub int, value int) []complex128 {
+	p := NewPoller(l)
+	p.modulate(sub, value)
+	out := make([]complex128, l.SymbolSamples())
+	copy(out, p.sym)
 	return out
 }
 
@@ -75,40 +120,51 @@ type PollResult struct {
 // simultaneously on its subchannel; the AP takes the FFT window after the CP
 // and decodes each subchannel against that client's expected amplitude.
 // noiseStd is per-sample complex-noise standard deviation (unit-amplitude
-// reference client).
-func Poll(l Layout, clients []Client, values []int, noiseStd float64, rng *rand.Rand) PollResult {
+// reference client). The result's slices alias the poller's scratch and are
+// overwritten by the next Poll call.
+func (p *Poller) Poll(clients []Client, values []int, noiseStd float64, rng *rand.Rand) PollResult {
 	if len(clients) != len(values) {
 		panic("ofdm: clients/values length mismatch")
 	}
-	rx := make([]complex128, l.SymbolSamples())
+	l := p.l
+	rx := p.rx
+	for i := range rx {
+		rx[i] = 0
+	}
 	for i, c := range clients {
 		if c.DelaySamples >= l.CPLen {
 			panic("ofdm: client delay exceeds the cyclic prefix")
 		}
-		sym := Modulate(l, c.Subchannel, l.EncodeQueue(values[i]))
-		applyChannel(l, rx, sym, c, rng)
+		p.modulate(c.Subchannel, l.EncodeQueue(values[i]))
+		applyChannel(l, rx, p.sym, c, rng)
 	}
 	for n := range rx {
 		rx[n] += complex(rng.NormFloat64()*noiseStd/math.Sqrt2, rng.NormFloat64()*noiseStd/math.Sqrt2)
 	}
 
 	// Common FFT window: skip the CP.
-	window := make([]complex128, l.N)
-	copy(window, rx[l.CPLen:])
-	FFT(window)
+	copy(p.window, rx[l.CPLen:])
+	p.plan.Forward(p.window)
 
-	spectrum := make([]float64, l.N)
-	for k, v := range window {
+	spectrum := p.spectrum
+	for k, v := range p.window {
 		spectrum[k] = cmplx.Abs(v)
 	}
 
-	res := PollResult{Spectrum: spectrum}
+	vals, oks := p.values[:0], p.ok[:0]
 	for i, c := range clients {
 		got := demod(l, spectrum, c)
-		res.Values = append(res.Values, got)
-		res.OK = append(res.OK, got == l.EncodeQueue(values[i]))
+		vals = append(vals, got)
+		oks = append(oks, got == l.EncodeQueue(values[i]))
 	}
-	return res
+	p.values, p.ok = vals, oks
+	return PollResult{Values: vals, OK: oks, Spectrum: spectrum}
+}
+
+// Poll simulates one polling round with throwaway scratch. Experiments that
+// poll repeatedly should construct a Poller once and reuse it.
+func Poll(l Layout, clients []Client, values []int, noiseStd float64, rng *rand.Rand) PollResult {
+	return NewPoller(l).Poll(clients, values, noiseStd, rng)
 }
 
 // demod slices one client's subchannel out of the amplitude spectrum: a bit
@@ -117,11 +173,11 @@ func Poll(l Layout, clients []Client, values []int, noiseStd float64, rng *rand.
 // exchanges).
 func demod(l Layout, spectrum []float64, c Client) int {
 	ref := math.Pow(10, c.GainDB/20)
-	idx := l.SubcarrierIndices(c.Subchannel)
+	start, mirror := l.subchannelStart(c.Subchannel)
 	v := 0
-	for b, bin := range idx {
-		if spectrum[bin] > ref/2 {
-			v |= 1 << uint(len(idx)-1-b)
+	for b := 0; b < l.PerSub; b++ {
+		if spectrum[l.bin(start, mirror, b)] > ref/2 {
+			v |= 1 << uint(l.PerSub-1-b)
 		}
 	}
 	return v
@@ -138,18 +194,21 @@ const DefaultCFOMaxHz = 550
 // experiment. rssDiffDB is the strong client's advantage; guard is swept via
 // the layout. cfoMaxHz bounds the per-client random residual CFO.
 func DecodeRatio(l Layout, rssDiffDB, cfoMaxHz, noiseStd float64, trials int, rng *rand.Rand) float64 {
+	p := NewPoller(l)
+	clients := make([]Client, 2)
+	values := make([]int, 2)
 	ok := 0
 	for t := 0; t < trials; t++ {
-		cfo := func() float64 { return (2*rng.Float64() - 1) * cfoMaxHz }
-		clients := []Client{
-			{Subchannel: 0, GainDB: rssDiffDB, CFOHz: cfo()}, // strong
-			{Subchannel: 1, GainDB: 0, CFOHz: cfo()},         // weak (measured)
-		}
+		// Draw order (strong CFO, weak CFO, weak value) is part of the
+		// deterministic-results contract; keep it when refactoring.
+		clients[0] = Client{Subchannel: 0, GainDB: rssDiffDB, CFOHz: (2*rng.Float64() - 1) * cfoMaxHz} // strong
+		clients[1] = Client{Subchannel: 1, GainDB: 0, CFOHz: (2*rng.Float64() - 1) * cfoMaxHz}         // weak (measured)
 		// The weak client reports a random queue size: zero bits adjacent to
 		// the strong subchannel are the vulnerable ones (leakage flips them
 		// to ones).
-		values := []int{1<<l.PerSub - 1, rng.Intn(1 << l.PerSub)}
-		res := Poll(l, clients, values, noiseStd, rng)
+		values[0] = 1<<l.PerSub - 1
+		values[1] = rng.Intn(1 << l.PerSub)
+		res := p.Poll(clients, values, noiseStd, rng)
 		if res.OK[1] {
 			ok++
 		}
@@ -173,11 +232,14 @@ func SNRFloor(l Layout, snrDB float64, trials int, rng *rand.Rand) float64 {
 	}
 	p /= float64(len(ref))
 	noiseStd := math.Sqrt(p / math.Pow(10, snrDB/10))
+	poller := NewPoller(l)
+	clients := make([]Client, 1)
+	values := make([]int, 1)
 	ok := 0
 	for t := 0; t < trials; t++ {
-		clients := []Client{{Subchannel: rng.Intn(l.NumSubchannels())}}
-		want := rng.Intn(1 << l.PerSub)
-		res := Poll(l, clients, []int{want}, noiseStd, rng)
+		clients[0] = Client{Subchannel: rng.Intn(l.NumSubchannels())}
+		values[0] = rng.Intn(1 << l.PerSub)
+		res := poller.Poll(clients, values, noiseStd, rng)
 		if res.OK[0] {
 			ok++
 		}

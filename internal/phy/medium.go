@@ -2,6 +2,7 @@ package phy
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/sim"
 )
@@ -12,6 +13,7 @@ type Medium struct {
 	k     *sim.Kernel
 	cfg   Config
 	rss   [][]float64 // rss[i][j]: dBm received at j when i transmits
+	rssMw [][]float64 // rss converted to mW once; Transmit is pow-free
 	nodes []nodeState
 
 	csMw    float64
@@ -24,6 +26,23 @@ type Medium struct {
 	Corrupted     int
 
 	probe Probe
+
+	// Free lists. Transmissions and receptions churn once per frame; pooling
+	// them (with their power vectors and reception lists) keeps the per-frame
+	// path allocation-free in steady state. The scratch stacks below are
+	// pools too, but stack-shaped: Transmit re-enters itself when a notified
+	// listener reacts by transmitting, so each nesting level pops its own
+	// buffer and pushes it back when done.
+	txFree       []*transmission
+	rxFree       []*reception
+	carrierFree  [][]NodeID
+	outcomesFree [][]outcome
+}
+
+type outcome struct {
+	r   *reception
+	ok  bool
+	det *SignatureDetection
 }
 
 // Probe observes medium activity for the observability layer. Callbacks run
@@ -86,6 +105,11 @@ type transmission struct {
 	// start and end adjust node totals by exactly the same amount.
 	powerMw []float64
 	recs    []*reception
+	sig     bool
+	sigN    int
+	// end is built once per pooled struct and rescheduled on every reuse, so
+	// the air-time timer costs no closure allocation per frame.
+	end func()
 }
 
 type reception struct {
@@ -98,6 +122,11 @@ type reception struct {
 	interfMaxMw float64
 	maxSigs     int
 	failed      bool // half-duplex violation
+	// det is the signature-detection report handed to the listener, embedded
+	// here so judging a signature frame allocates nothing. The pointer is
+	// only valid during the FrameReceived callback (the reception recycles
+	// right after), and no listener retains it.
+	det SignatureDetection
 }
 
 // NewMedium builds a medium over the given RSS matrix (dBm, indexed
@@ -112,15 +141,94 @@ func NewMedium(k *sim.Kernel, rssDBm [][]float64, cfg Config) *Medium {
 	if cfg.Detector == nil {
 		cfg.Detector = DefaultDetector
 	}
+	// The RSS matrix is fixed for the medium's lifetime, so the dBm→mW
+	// conversion (a pow per pair) runs once here instead of on every
+	// transmission's per-node loop.
+	rssMw := make([][]float64, n)
+	for i, row := range rssDBm {
+		rssMw[i] = make([]float64, n)
+		for j, dbm := range row {
+			rssMw[i][j] = DBmToMw(dbm)
+		}
+	}
 	return &Medium{
 		k:       k,
 		cfg:     cfg,
 		rss:     rssDBm,
+		rssMw:   rssMw,
 		nodes:   make([]nodeState, n),
 		csMw:    DBmToMw(cfg.CSThreshDBm),
 		floorMw: DBmToMw(cfg.DeliverFloorDBm),
 		noiseMw: DBmToMw(cfg.NoiseDBm),
 	}
+}
+
+// allocTx returns a pooled transmission with its power vector and reception
+// list ready for reuse.
+func (m *Medium) allocTx() *transmission {
+	if n := len(m.txFree) - 1; n >= 0 {
+		tx := m.txFree[n]
+		m.txFree[n] = nil
+		m.txFree = m.txFree[:n]
+		return tx
+	}
+	tx := &transmission{powerMw: make([]float64, len(m.nodes))}
+	tx.end = func() { m.endTransmission(tx) }
+	return tx
+}
+
+func (m *Medium) releaseTx(tx *transmission) {
+	tx.frame = nil
+	tx.recs = tx.recs[:0]
+	m.txFree = append(m.txFree, tx)
+}
+
+func (m *Medium) allocRx() *reception {
+	if n := len(m.rxFree) - 1; n >= 0 {
+		r := m.rxFree[n]
+		m.rxFree[n] = nil
+		m.rxFree = m.rxFree[:n]
+		*r = reception{}
+		return r
+	}
+	return new(reception)
+}
+
+func (m *Medium) releaseRx(r *reception) {
+	r.tx = nil
+	m.rxFree = append(m.rxFree, r)
+}
+
+// popCarrier/pushCarrier manage the carrier-notification scratch as a stack:
+// nested Transmit calls (a listener transmitting in reaction to a carrier
+// flip) each get their own buffer.
+func (m *Medium) popCarrier() []NodeID {
+	if n := len(m.carrierFree) - 1; n >= 0 {
+		buf := m.carrierFree[n]
+		m.carrierFree = m.carrierFree[:n]
+		return buf
+	}
+	return make([]NodeID, 0, len(m.nodes))
+}
+
+func (m *Medium) pushCarrier(buf []NodeID) {
+	m.carrierFree = append(m.carrierFree, buf[:0])
+}
+
+func (m *Medium) popOutcomes() []outcome {
+	if n := len(m.outcomesFree) - 1; n >= 0 {
+		buf := m.outcomesFree[n]
+		m.outcomesFree = m.outcomesFree[:n]
+		return buf
+	}
+	return make([]outcome, 0, len(m.nodes))
+}
+
+func (m *Medium) pushOutcomes(buf []outcome) {
+	for i := range buf {
+		buf[i] = outcome{}
+	}
+	m.outcomesFree = append(m.outcomesFree, buf[:0])
 }
 
 // NumNodes returns the number of radios on the medium.
@@ -180,7 +288,9 @@ func (m *Medium) Transmit(src NodeID, f *Frame) {
 	}
 	f.Src = src
 	m.Transmissions++
-	tx := &transmission{frame: f, src: src, powerMw: make([]float64, len(m.nodes))}
+	tx := m.allocTx()
+	tx.frame = f
+	tx.src = src
 	ns.tx = tx
 
 	// Half-duplex: starting a transmission destroys anything the node was
@@ -198,13 +308,15 @@ func (m *Medium) Transmit(src NodeID, f *Frame) {
 			sigN = 1
 		}
 	}
+	tx.sig, tx.sigN = sig, sigN
 
-	var carrier []NodeID
+	rowMw := m.rssMw[src]
+	carrier := m.popCarrier()
 	for j := range m.nodes {
 		if NodeID(j) == src {
 			continue
 		}
-		p := DBmToMw(m.rss[src][j])
+		p := rowMw[j]
 		tx.powerMw[j] = p
 		dst := &m.nodes[j]
 		dst.totalMw += p
@@ -218,7 +330,8 @@ func (m *Medium) Transmit(src NodeID, f *Frame) {
 		}
 		// Start a reception if the frame is strong enough to matter.
 		if dst.listener != nil && p >= m.floorMw {
-			r := &reception{tx: tx, at: NodeID(j), powerMw: p, failed: dst.tx != nil}
+			r := m.allocRx()
+			r.tx, r.at, r.powerMw, r.failed = tx, NodeID(j), p, dst.tx != nil
 			m.foldInterference(r, dst)
 			dst.recs = append(dst.recs, r)
 			tx.recs = append(tx.recs, r)
@@ -233,8 +346,9 @@ func (m *Medium) Transmit(src NodeID, f *Frame) {
 	// Notify only after the medium state has fully settled: a listener may
 	// react by transmitting, which re-enters this method.
 	m.notifyCarrier(carrier)
+	m.pushCarrier(carrier)
 
-	m.k.After(f.AirTime(), func() { m.endTransmission(tx, sig, sigN) }).SetSource(sim.SrcPHY)
+	m.k.After(f.AirTime(), tx.end).SetSource(sim.SrcPHY)
 }
 
 // foldInterference updates r's worst-case interference from the current state
@@ -259,9 +373,10 @@ func (m *Medium) foldInterference(r *reception, dst *nodeState) {
 	}
 }
 
-func (m *Medium) endTransmission(tx *transmission, sig bool, sigN int) {
+func (m *Medium) endTransmission(tx *transmission) {
+	sig := tx.sig
 	m.nodes[tx.src].tx = nil
-	var carrier []NodeID
+	carrier := m.popCarrier()
 	for j := range m.nodes {
 		if NodeID(j) == tx.src {
 			continue
@@ -291,12 +406,7 @@ func (m *Medium) endTransmission(tx *transmission, sig bool, sigN int) {
 	// Judge receptions while the state is settled, then notify: carrier
 	// transitions first (the channel went idle as the frame ended), then the
 	// frame outcomes.
-	type outcome struct {
-		r   *reception
-		ok  bool
-		det *SignatureDetection
-	}
-	outcomes := make([]outcome, 0, len(tx.recs))
+	outcomes := m.popOutcomes()
 	if m.probe != nil {
 		m.probe.TxEnd(tx.frame, m.k.Now())
 	}
@@ -315,18 +425,29 @@ func (m *Medium) endTransmission(tx *transmission, sig bool, sigN int) {
 		outcomes = append(outcomes, outcome{r, ok, det})
 	}
 	m.notifyCarrier(carrier)
+	m.pushCarrier(carrier)
+	frame := tx.frame
 	for _, o := range outcomes {
-		m.nodes[o.r.at].listener.FrameReceived(tx.frame, o.ok, o.det)
+		m.nodes[o.r.at].listener.FrameReceived(frame, o.ok, o.det)
 	}
+	// Recycle only after every callback ran: listeners must never observe a
+	// reused struct mid-notification.
+	for _, o := range outcomes {
+		m.releaseRx(o.r)
+	}
+	m.pushOutcomes(outcomes)
+	m.releaseTx(tx)
 }
 
 // judge decides a reception's outcome at frame end.
 func (m *Medium) judge(r *reception) (bool, *SignatureDetection) {
-	sinr := MwToDBm(r.powerMw) - MwToDBm(r.interfMaxMw)
+	// One log instead of two: 10·log10(S/I) == S_dBm − I_dBm.
+	sinr := 10 * math.Log10(r.powerMw/r.interfMaxMw)
 	if r.tx.frame.Kind != Signature {
 		return !r.failed && sinr >= SNRThresholdDB(r.tx.frame.Rate), nil
 	}
-	det := &SignatureDetection{Combined: r.maxSigs, SINRdB: sinr}
+	r.det = SignatureDetection{Combined: r.maxSigs, SINRdB: sinr}
+	det := &r.det
 	if r.failed || sinr < m.cfg.SigSINRdB {
 		return false, det
 	}

@@ -109,14 +109,19 @@ func TestMediumInvariantsUnderFuzz(t *testing.T) {
 func TestSignatureDetectionFields(t *testing.T) {
 	k := sim.New(1)
 	m := NewMedium(k, [][]float64{{0, -60}, {-60, 0}}, DefaultConfig())
-	var sigDet, dataDet *SignatureDetection
+	// The detail pointer is only valid during the callback (the reception it
+	// lives in recycles afterwards), so snapshot the value.
+	var sigDet SignatureDetection
+	var sawSig, dataHadDet bool
 	var got int
 	m.Register(1, listenerFunc(func(f *Frame, ok bool, det *SignatureDetection) {
 		got++
 		if f.Kind == Signature {
-			sigDet = det
-		} else {
-			dataDet = det
+			if det != nil {
+				sigDet, sawSig = *det, true
+			}
+		} else if det != nil {
+			dataHadDet = true
 		}
 	}))
 	m.Register(0, listenerFunc(func(*Frame, bool, *SignatureDetection) {}))
@@ -131,10 +136,10 @@ func TestSignatureDetectionFields(t *testing.T) {
 	if got != 2 {
 		t.Fatalf("callbacks = %d", got)
 	}
-	if sigDet == nil || sigDet.Combined != 2 {
-		t.Errorf("signature detail = %+v", sigDet)
+	if !sawSig || sigDet.Combined != 2 {
+		t.Errorf("signature detail = %+v (seen %v)", sigDet, sawSig)
 	}
-	if dataDet != nil {
+	if dataHadDet {
 		t.Error("data frame carried signature detail")
 	}
 }

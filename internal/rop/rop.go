@@ -25,6 +25,10 @@ const ToleranceDB = 38
 // more clients poll in sets (paper §3.5).
 const MaxClients = 24
 
+// defaultLayout is the Table 1 control-symbol layout, hoisted so the
+// per-round decode path rebuilds nothing.
+var defaultLayout = ofdm.DefaultLayout()
+
 // Assignment maps an AP's clients to subchannels.
 type Assignment struct {
 	// Subchannel[i] is the subchannel of client Clients[i].
@@ -78,23 +82,21 @@ type Result struct {
 // gives the AP-side SNR of each client's report.
 func Decode(a Assignment, queue func(phy.NodeID) int, rssAtAP func(phy.NodeID) float64,
 	noiseDBm float64, rng *rand.Rand) Result {
-	layout := ofdm.DefaultLayout()
-	res := Result{Values: map[phy.NodeID]int{}}
+	res := Result{Values: make(map[phy.NodeID]int, len(a.Clients))}
 	for i, c := range a.Clients {
-		ok := rssAtAP(c)-noiseDBm >= 4 // the measured SNR floor (§3.1)
-		for _, j := range []int{i - 1, i + 1} {
-			if j < 0 || j >= len(a.Clients) {
-				continue
-			}
-			if rssAtAP(a.Clients[j])-rssAtAP(c) > ToleranceDB {
-				ok = false
-			}
+		rss := rssAtAP(c)
+		ok := rss-noiseDBm >= 4 // the measured SNR floor (§3.1)
+		if i > 0 && rssAtAP(a.Clients[i-1])-rss > ToleranceDB {
+			ok = false
+		}
+		if i+1 < len(a.Clients) && rssAtAP(a.Clients[i+1])-rss > ToleranceDB {
+			ok = false
 		}
 		if !ok {
 			res.Failed = append(res.Failed, c)
 			continue
 		}
-		res.Values[c] = layout.EncodeQueue(queue(c))
+		res.Values[c] = defaultLayout.EncodeQueue(queue(c))
 	}
 	return res
 }

@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"math/rand"
-)
+import "math/rand"
 
 // Source attributes an event to the layer that scheduled it. Events inherit
 // the source of the event whose callback created them, so a chain started by
@@ -33,49 +30,94 @@ func (s Source) String() string {
 	}
 }
 
-// Event is a scheduled callback. Events are created through Kernel.At and
-// Kernel.After and may be cancelled before they fire. An Event must not be
-// reused after it has fired or been cancelled.
-type Event struct {
+// event is the kernel-owned state of one scheduled callback. The structs are
+// pooled: once an event fires or is cancelled it returns to the kernel's free
+// list and is reused by a later At/After, so the steady-state event loop
+// allocates nothing. The generation counter is bumped on every reuse, which
+// turns any still-outstanding handle to the struct's previous life into a
+// harmless no-op (see Event).
+type event struct {
 	at        Time
 	seq       uint64 // tie-breaker: FIFO among events at the same instant
-	index     int    // heap index, -1 once popped or cancelled
+	gen       uint64 // incremented each time the struct is recycled
 	fn        func()
 	k         *Kernel
+	index     int32 // heap index, -1 when not queued
 	src       Source
 	cancelled bool
 }
 
-// At returns the instant the event is scheduled to fire.
-func (e *Event) At() Time { return e.at }
+// Event is a generation-checked handle to a scheduled callback, returned by
+// Kernel.At and Kernel.After. The zero value is an empty handle whose methods
+// all no-op, so "no timer armed" needs no sentinel beyond Event{}.
+//
+// The pool contract: a handle is invalid once its event fires or is
+// cancelled. The kernel recycles the underlying struct, and the generation
+// stamp makes every later method call through a stale handle a safe no-op
+// (Cancel cannot reach into an unrelated recycled event). Engines should
+// still clear their stored handles (h = sim.Event{}) when the callback runs,
+// as every MAC engine in this repository does — Scheduled is the armed check.
+type Event struct {
+	ev  *event
+	gen uint64
+	at  Time
+}
 
-// SetSource retags the event's attribution (see Source). It returns the event
-// so call sites can chain it onto Kernel.At/After.
-func (e *Event) SetSource(s Source) *Event {
-	e.src = s
+// live reports whether the handle still refers to the event it was issued
+// for (the slot has not been recycled).
+func (e Event) live() bool { return e.ev != nil && e.gen == e.ev.gen }
+
+// At returns the instant the event was scheduled to fire. The timestamp is
+// stored in the handle itself, so it stays valid even once the handle is
+// stale (and reports zero for the zero handle).
+func (e Event) At() Time { return e.at }
+
+// Scheduled reports whether the event is still queued: not yet fired and not
+// cancelled. False for the zero handle and for stale handles.
+func (e Event) Scheduled() bool { return e.live() && e.ev.index >= 0 }
+
+// SetSource retags the event's attribution (see Source). It returns the
+// handle so call sites can chain it onto Kernel.At/After. A no-op on stale
+// or zero handles.
+func (e Event) SetSource(s Source) Event {
+	if e.live() {
+		e.ev.src = s
+	}
 	return e
 }
 
-// Source returns the event's attribution.
-func (e *Event) Source() Source { return e.src }
+// Source returns the event's attribution, or SrcUnknown once the handle is
+// stale.
+func (e Event) Source() Source {
+	if e.live() {
+		return e.ev.src
+	}
+	return SrcUnknown
+}
 
-// Cancel prevents the event from firing and removes it from the queue via its
-// stored heap index, so cancelled events no longer linger and inflate
-// Pending(). Cancelling an event that already fired or was already cancelled
-// is a no-op (the cancelled flag remains as a lazy-skip fallback for events
-// that have been popped but not yet run).
-func (e *Event) Cancel() {
-	if e.cancelled {
+// Cancel prevents the event from firing, removes it from the queue via its
+// stored heap index (cancelled events do not linger and inflate Pending())
+// and recycles its storage. Cancelling an event that already fired, was
+// already cancelled, or whose storage has since been reused is a no-op: the
+// generation check stops a stale handle from touching the slot's new
+// occupant.
+func (e Event) Cancel() {
+	if !e.live() || e.ev.cancelled {
 		return
 	}
-	e.cancelled = true
-	if e.k != nil && e.index >= 0 {
-		heap.Remove(&e.k.queue, e.index)
+	ev := e.ev
+	ev.cancelled = true
+	if ev.index >= 0 {
+		ev.k.removeQueued(ev)
 	}
 }
 
-// Cancelled reports whether Cancel has been called on the event.
-func (e *Event) Cancelled() bool { return e.cancelled }
+// Cancelled reports whether Cancel has been called on the event. Reliable
+// from the Cancel call until the kernel reuses the event's storage for a new
+// schedule (handles are contractually dead after fire/cancel; this query
+// exists for assertions immediately after a Cancel). False for the zero
+// handle and stale handles.
+func (e Event) Cancelled() bool { return e.live() && e.ev.cancelled }
 
 // EventInfo is the snapshot handed to the Kernel.OnEvent hook just before an
 // event's callback runs. It is passed by value so a nil or trivial hook costs
@@ -89,21 +131,33 @@ type EventInfo struct {
 
 // Kernel is a single-threaded discrete-event scheduler. The zero value is not
 // usable; construct with New.
+//
+// The event queue is a monomorphic index-tracked binary min-heap specialized
+// to the pooled event struct: no heap.Interface, no interface boxing, and no
+// allocation per schedule in steady state (events recycle through a free
+// list). A retained container/heap implementation (see refqueue.go) can be
+// swapped in for differential tests.
 type Kernel struct {
 	now     Time
-	queue   eventQueue
+	q       eventHeap
+	free    []*event
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
 	cur     Source // source of the currently executing event, inherited by new events
 	hook    func(EventInfo)
+	ref     *refQueue // non-nil: use the retained container/heap reference queue
 }
 
 // New returns a kernel whose clock starts at zero and whose random source is
 // seeded with the given seed. Identical seeds yield identical simulations.
 func New(seed int64) *Kernel {
-	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+	k := &Kernel{rng: rand.New(rand.NewSource(seed))}
+	if referenceQueue.Load() {
+		k.ref = new(refQueue)
+	}
+	return k
 }
 
 // Now returns the current simulated time.
@@ -123,21 +177,72 @@ func (k *Kernel) Fired() uint64 { return k.fired }
 // this is pinned by TestOnEventNilHookZeroAllocs and BenchmarkKernel.
 func (k *Kernel) OnEvent(hook func(EventInfo)) { k.hook = hook }
 
+// alloc returns a recycled event struct, or a fresh one when the pool is
+// empty. The generation bump invalidates every handle issued for the
+// struct's previous life.
+func (k *Kernel) alloc() *event {
+	if n := len(k.free) - 1; n >= 0 {
+		ev := k.free[n]
+		k.free[n] = nil
+		k.free = k.free[:n]
+		ev.gen++
+		ev.cancelled = false
+		return ev
+	}
+	return &event{k: k, index: -1}
+}
+
+// release returns a fired or cancelled event to the pool. Reference-mode
+// kernels skip the pool so events become garbage, exactly like the pre-pool
+// kernel they exist to reproduce.
+func (k *Kernel) release(ev *event) {
+	ev.fn = nil // drop the closure so the pool does not pin captured state
+	if k.ref == nil {
+		k.free = append(k.free, ev)
+	}
+}
+
+// removeQueued eagerly removes a still-queued event (the Cancel path) and
+// recycles it.
+func (k *Kernel) removeQueued(ev *event) {
+	if k.ref != nil {
+		k.ref.remove(int(ev.index))
+	} else {
+		k.q.remove(int(ev.index))
+	}
+	k.release(ev)
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a protocol-logic bug, and silently reordering time would
-// corrupt every result built on top of the kernel.
-func (k *Kernel) At(t Time, fn func()) *Event {
+// corrupt every result built on top of the kernel. Zero-alloc in steady
+// state: the event struct comes from the kernel's pool and the returned
+// handle is a value.
+func (k *Kernel) At(t Time, fn func()) Event {
 	if t < k.now {
 		panic("sim: event scheduled in the past")
 	}
-	e := &Event{at: t, seq: k.seq, fn: fn, k: k, src: k.cur}
+	var ev *event
+	if k.ref != nil {
+		ev = &event{k: k, index: -1} // reference mode: one allocation per event
+	} else {
+		ev = k.alloc()
+	}
+	ev.at = t
+	ev.seq = k.seq
+	ev.fn = fn
+	ev.src = k.cur
 	k.seq++
-	heap.Push(&k.queue, e)
-	return e
+	if k.ref != nil {
+		k.ref.push(ev)
+	} else {
+		k.q.push(ev)
+	}
+	return Event{ev: ev, gen: ev.gen, at: t}
 }
 
 // After schedules fn to run d after the current time.
-func (k *Kernel) After(d Time, fn func()) *Event {
+func (k *Kernel) After(d Time, fn func()) Event {
 	return k.At(k.now+d, fn)
 }
 
@@ -154,22 +259,36 @@ func (k *Kernel) Run() Time { return k.RunUntil(MaxTime) }
 // fired). It returns the final clock value.
 func (k *Kernel) RunUntil(deadline Time) Time {
 	k.stopped = false
-	for k.queue.Len() > 0 && !k.stopped {
-		e := k.queue[0]
-		if e.at > deadline {
+	for !k.stopped {
+		var ev *event
+		if k.ref != nil {
+			ev = k.ref.peek()
+		} else {
+			ev = k.q.peek()
+		}
+		if ev == nil || ev.at > deadline {
 			break
 		}
-		heap.Pop(&k.queue)
-		if e.cancelled {
+		if k.ref != nil {
+			k.ref.popMin()
+		} else {
+			k.q.popMin()
+		}
+		if ev.cancelled {
+			// Cancelled events are removed eagerly; this lazy skip only
+			// guards an event cancelled through its own handle between pop
+			// and run (not reachable today, kept as a cheap invariant).
 			continue
 		}
-		k.now = e.at
+		k.now = ev.at
 		k.fired++
-		k.cur = e.src
+		k.cur = ev.src
 		if k.hook != nil {
-			k.hook(EventInfo{Now: e.at, Fired: k.fired, Pending: k.queue.Len(), Source: e.src})
+			k.hook(EventInfo{Now: ev.at, Fired: k.fired, Pending: k.Pending(), Source: ev.src})
 		}
-		e.fn()
+		fn := ev.fn
+		k.release(ev)
+		fn()
 	}
 	if !k.stopped && deadline != MaxTime && k.now < deadline {
 		k.now = deadline
@@ -179,38 +298,12 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 
 // Pending returns the number of events currently queued. Cancelled events are
 // removed eagerly, so they no longer count.
-func (k *Kernel) Pending() int { return k.queue.Len() }
-
-// eventQueue implements heap.Interface ordered by (at, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (k *Kernel) Pending() int {
+	if k.ref != nil {
+		return len(*k.ref)
 	}
-	return q[i].seq < q[j].seq
+	return len(k.q)
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
-}
+// poolSize exposes the free-list depth to white-box tests.
+func (k *Kernel) poolSize() int { return len(k.free) }

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// opTrace drives one kernel through a deterministic random schedule of
+// At/After/Cancel operations (derived from seed) and records the (at, seq)
+// identity of every event that fires. Callbacks themselves schedule and
+// cancel, so the interleaving exercises mid-run mutation of the queue.
+func opTrace(k *Kernel, seed int64, ops int) []EventInfo {
+	rng := rand.New(rand.NewSource(seed))
+	var fired []EventInfo
+	k.OnEvent(func(info EventInfo) { fired = append(fired, info) })
+
+	var handles []Event
+	var step func()
+	remaining := ops
+	step = func() {
+		if remaining <= 0 {
+			return
+		}
+		remaining--
+		switch rng.Intn(4) {
+		case 0: // absolute schedule, possibly at the current instant (FIFO tie)
+			handles = append(handles, k.At(k.Now()+Time(rng.Intn(5)), step))
+		case 1: // relative schedule
+			handles = append(handles, k.After(Time(1+rng.Intn(50)), step))
+		case 2: // schedule then cancel a random outstanding handle
+			handles = append(handles, k.After(Time(1+rng.Intn(50)), step))
+			handles[rng.Intn(len(handles))].Cancel()
+		default: // burst of same-instant events to stress seq tie-breaking
+			at := k.Now() + Time(rng.Intn(3))
+			for i := 0; i < 3; i++ {
+				handles = append(handles, k.At(at, step))
+			}
+		}
+	}
+	// Seed the run with a few roots so cancellation cannot strand the trace.
+	for i := 0; i < 4; i++ {
+		handles = append(handles, k.After(Time(i), step))
+	}
+	k.Run()
+	return fired
+}
+
+// TestDifferentialRandomOps is the satellite-1 property test: for random
+// At/After/Cancel interleavings the pooled monomorphic kernel must fire the
+// exact same event sequence — same timestamps, same fired counts, same
+// pending depths, same sources — as the retained container/heap reference.
+func TestDifferentialRandomOps(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		pooled := New(seed)
+		got := opTrace(pooled, seed, 400)
+
+		SetReferenceQueue(true)
+		refKernel := New(seed)
+		SetReferenceQueue(false)
+		want := opTrace(refKernel, seed, 400)
+
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: pooled fired %d events, reference fired %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: event %d diverged: pooled %+v, reference %+v", seed, i, got[i], want[i])
+			}
+		}
+		if pooled.Now() != refKernel.Now() {
+			t.Fatalf("seed %d: final clocks diverged: %v vs %v", seed, pooled.Now(), refKernel.Now())
+		}
+	}
+}
+
+// TestSameInstantFIFOProperty checks (at, seq) ordering directly: events
+// scheduled at identical instants from random interleavings fire in exact
+// schedule order, and distinct instants fire in time order.
+func TestSameInstantFIFOProperty(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := New(seed)
+		type stamp struct {
+			at  Time
+			ord int
+		}
+		var want []stamp
+		var got []stamp
+		for i := 0; i < 300; i++ {
+			at := Time(rng.Intn(20))
+			ord := i
+			want = append(want, stamp{at, ord})
+			k.At(at, func() { got = append(got, stamp{k.Now(), ord}) })
+		}
+		// Expected order: stable sort by at (schedule order preserved within
+		// an instant) — exactly the (at, seq) contract.
+		for i := 1; i < len(want); i++ {
+			for j := i; j > 0 && want[j].at < want[j-1].at; j-- {
+				want[j], want[j-1] = want[j-1], want[j]
+			}
+		}
+		k.Run()
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: fired %d, want %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: position %d = %+v, want %+v", seed, i, got[i], want[i])
+			}
+		}
+	}
+}

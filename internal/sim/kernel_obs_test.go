@@ -9,7 +9,7 @@ import (
 // and with it the observability layer's queue-depth samples.
 func TestCancelRemovesFromQueue(t *testing.T) {
 	k := New(1)
-	events := make([]*Event, 10)
+	events := make([]Event, 10)
 	for i := range events {
 		events[i] = k.At(Time(i+1)*Microsecond, func() {})
 	}
@@ -47,7 +47,7 @@ func TestCancelRemovesFromQueue(t *testing.T) {
 func TestCancelDuringRun(t *testing.T) {
 	k := New(1)
 	fired := []int{}
-	var victims []*Event
+	var victims []Event
 	k.At(Microsecond, func() {
 		fired = append(fired, 0)
 		for _, v := range victims {

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"container/heap"
+	"sync/atomic"
+)
+
+// refQueue is the event queue this kernel shipped with before the pooled
+// monomorphic heap: container/heap over a boxed slice, one garbage event per
+// schedule. It is retained verbatim (modulo the event struct rename) as the
+// differential-testing reference — TestDifferentialRandomOps and the
+// exp-level trace tests assert that the pooled kernel fires the exact same
+// event sequence and produces byte-identical NDJSON traces.
+type refQueue []*event
+
+func (q refQueue) Len() int { return len(q) }
+
+func (q refQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q refQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = int32(i)
+	q[j].index = int32(j)
+}
+
+func (q *refQueue) Push(x any) {
+	e := x.(*event)
+	e.index = int32(len(*q))
+	*q = append(*q, e)
+}
+
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// peek returns the minimum event without removing it, or nil when empty.
+func (q refQueue) peek() *event {
+	if len(q) == 0 {
+		return nil
+	}
+	return q[0]
+}
+
+func (q *refQueue) push(e *event)  { heap.Push(q, e) }
+func (q *refQueue) popMin() *event { return heap.Pop(q).(*event) }
+func (q *refQueue) remove(i int)   { heap.Remove(q, i) }
+
+// referenceQueue selects the queue backend for kernels constructed by New.
+var referenceQueue atomic.Bool
+
+// SetReferenceQueue makes every subsequently constructed Kernel use the
+// retained container/heap reference queue (with per-event allocation, no
+// pooling) instead of the pooled monomorphic heap. Differential tests and
+// before/after benchmarks only; existing kernels are unaffected. Callers
+// must restore the default with SetReferenceQueue(false).
+func SetReferenceQueue(on bool) { referenceQueue.Store(on) }
+
+// ReferenceQueueEnabled reports the current backend selection.
+func ReferenceQueueEnabled() bool { return referenceQueue.Load() }

@@ -59,7 +59,7 @@ type TCPFlow struct {
 	srtt      sim.Time
 	rttvar    sim.Time
 	rto       sim.Time
-	rtoTimer  *sim.Event
+	rtoTimer  sim.Event
 	sendTime  map[uint64]sim.Time // for RTT sampling (Karn: fresh sends only)
 	appTokens float64
 
@@ -158,20 +158,20 @@ func (f *TCPFlow) sendSegment(seq uint64, fresh bool) {
 	// The RTO guards the oldest outstanding segment: arm it if idle, but do
 	// not push it out on every transmission (that would let a steady stream
 	// of duplicate ACKs starve the timeout forever).
-	if f.rtoTimer == nil {
+	if !f.rtoTimer.Scheduled() {
 		f.armRTO()
 	}
 }
 
 func (f *TCPFlow) armRTO() {
-	if f.rtoTimer != nil {
+	if f.rtoTimer.Scheduled() {
 		f.rtoTimer.Cancel()
 	}
 	f.rtoTimer = f.k.After(f.rto, f.onRTO)
 }
 
 func (f *TCPFlow) onRTO() {
-	f.rtoTimer = nil
+	f.rtoTimer = sim.Event{}
 	if f.sndUna == f.sndMax {
 		return // everything acknowledged; nothing to recover
 	}
@@ -257,9 +257,9 @@ func (f *TCPFlow) onAck(p *mac.Packet, now sim.Time) {
 		} else {
 			f.cwnd += float64(newly) / f.cwnd // congestion avoidance
 		}
-		if f.sndUna == f.sndMax && f.rtoTimer != nil {
+		if f.sndUna == f.sndMax && f.rtoTimer.Scheduled() {
 			f.rtoTimer.Cancel()
-			f.rtoTimer = nil
+			f.rtoTimer = sim.Event{}
 		} else {
 			f.armRTO()
 		}

@@ -5,12 +5,20 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race race-hot bench bench-obs bench-kernel benchreport benchreport-obs benchreport-kernel
+.PHONY: ci vet fmt specs build test race race-hot bench bench-obs bench-kernel benchreport benchreport-obs benchreport-kernel
 
-ci: vet build test race race-hot bench-obs bench-kernel
+ci: vet fmt build test specs race race-hot bench-obs bench-kernel
 
 vet:
 	$(GO) vet ./...
+
+# gofmt gate: fails listing the unformatted files, fixes nothing.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Validate every example scenario spec (shape, scheme, topology, traffic).
+specs:
+	$(GO) run ./cmd/speclint examples/specs/*.json
 
 build:
 	$(GO) build ./...

@@ -34,6 +34,16 @@ func benchOpts(seed int64) exp.Options {
 	}
 }
 
+// mustT10x2 builds the default campus topology or aborts the benchmark.
+func mustT10x2(tb testing.TB, seed int64) *topo.Network {
+	tb.Helper()
+	net, err := exp.T10x2(seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return net
+}
+
 // BenchmarkFig2 regenerates the motivating comparison (Fig 2) and reports
 // the omniscient-over-DCF and DOMINO-over-DCF throughput ratios (paper: 1.76x
 // and close-to-omniscient).
@@ -110,7 +120,10 @@ func BenchmarkSNRFloor(b *testing.B) {
 func BenchmarkFig9(b *testing.B) {
 	var det4, fp float64
 	for i := 0; i < b.N; i++ {
-		r := exp.Fig9(benchOpts(int64(i + 1)))
+		r, err := exp.Fig9(benchOpts(int64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
 		det4 = r.Detected[0][3] // 1-sender setup, combined = 4
 		fp = r.MaxFP
 	}
@@ -149,7 +162,10 @@ func BenchmarkFig11(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		o := benchOpts(int64(i + 1))
 		o.Duration = sim.Second
-		r := exp.Fig11(o)
+		r, err := exp.Fig11(o)
+		if err != nil {
+			b.Fatal(err)
+		}
 		worst = 0
 		for _, row := range r.MaxUs {
 			if v := row[len(row)-1]; v > worst {
@@ -165,7 +181,10 @@ func BenchmarkFig11(b *testing.B) {
 func BenchmarkFig12UDP(b *testing.B) {
 	var gain0, fairGap float64
 	for i := 0; i < b.N; i++ {
-		r := exp.Fig12(benchOpts(int64(i+1)), core.UDPCBR)
+		r, err := exp.Fig12(benchOpts(int64(i+1)), core.UDPCBR)
+		if err != nil {
+			b.Fatal(err)
+		}
 		gain0 = r.ThroughputMbps[0][0] / r.ThroughputMbps[2][0]
 		last := len(r.UpMbps) - 1
 		fairGap = r.Fairness[0][last] - r.Fairness[2][last]
@@ -181,7 +200,10 @@ func BenchmarkFig12TCP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		o := benchOpts(int64(i + 1))
 		o.Duration = 4 * sim.Second // TCP needs window growth time
-		r := exp.Fig12(o, core.TCP)
+		r, err := exp.Fig12(o, core.TCP)
+		if err != nil {
+			b.Fatal(err)
+		}
 		gain = r.ThroughputMbps[0][0] / r.ThroughputMbps[2][0]
 	}
 	b.ReportMetric(gain, "gain@up0")
@@ -208,7 +230,10 @@ func BenchmarkFig14(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		o := benchOpts(int64(i + 1))
 		o.Runs = 3
-		r := exp.Fig14(o)
+		r, err := exp.Fig14(o)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if r.Gains.N() > 0 {
 			median = r.Gains.Quantile(0.5)
 		}
@@ -223,7 +248,10 @@ func BenchmarkPollingSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		o := benchOpts(int64(i + 1))
 		o.Duration = 1500 * sim.Millisecond
-		r := exp.PollingSweep(o)
+		r, err := exp.PollingSweep(o)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if r.LightDelayUs[0] > 0 {
 			growth = r.LightDelayUs[len(r.LightDelayUs)-1] / r.LightDelayUs[0]
 		}
@@ -237,7 +265,10 @@ func BenchmarkPollingSweep(b *testing.B) {
 func BenchmarkLightLoad(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		r := exp.LightLoad(benchOpts(1))
+		r, err := exp.LightLoad(benchOpts(1))
+		if err != nil {
+			b.Fatal(err)
+		}
 		ratio = r.Ratio
 	}
 	b.ReportMetric(ratio, "delay-ratio")
@@ -261,7 +292,10 @@ func BenchmarkFig14Workers(b *testing.B) {
 				o := benchOpts(1)
 				o.Runs = 4
 				o.Workers = workers
-				r := exp.Fig14(o)
+				r, err := exp.Fig14(o)
+				if err != nil {
+					b.Fatal(err)
+				}
 				if r.Gains.N() > 0 {
 					median = r.Gains.Quantile(0.5)
 				}
@@ -284,7 +318,10 @@ func BenchmarkFig9Workers(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				o := benchOpts(1)
 				o.Workers = workers
-				r := exp.Fig9(o)
+				r, err := exp.Fig9(o)
+				if err != nil {
+					b.Fatal(err)
+				}
 				det4 = r.Detected[0][3]
 			}
 			b.ReportMetric(det4, "detect@4")
@@ -350,7 +387,7 @@ func BenchmarkAblationTriggerRedundancy(b *testing.B) {
 			var agg float64
 			for i := 0; i < b.N; i++ {
 				r := core.Run(core.Scenario{
-					Net:      exp.T10x2(1),
+					Net:      mustT10x2(b, 1),
 					Downlink: true, Uplink: true,
 					Scheme: core.DOMINO, Traffic: core.Saturated,
 					Duration: sim.Second, Seed: int64(i + 1),
@@ -376,7 +413,7 @@ func BenchmarkAblationFakeCover(b *testing.B) {
 			var agg float64
 			for i := 0; i < b.N; i++ {
 				r := core.Run(core.Scenario{
-					Net:      exp.T10x2(1),
+					Net:      mustT10x2(b, 1),
 					Downlink: true, Uplink: true,
 					Scheme: core.DOMINO, Traffic: core.Saturated,
 					Duration: sim.Second, Seed: int64(i + 1),
@@ -398,7 +435,7 @@ func BenchmarkAblationBatchSize(b *testing.B) {
 			var agg float64
 			for i := 0; i < b.N; i++ {
 				r := core.Run(core.Scenario{
-					Net:      exp.T10x2(1),
+					Net:      mustT10x2(b, 1),
 					Downlink: true, Uplink: true,
 					Scheme: core.DOMINO, Traffic: core.Saturated,
 					Duration: sim.Second, Seed: int64(i + 1),
@@ -421,7 +458,7 @@ func BenchmarkAblationScheduler(b *testing.B) {
 			var agg float64
 			for i := 0; i < b.N; i++ {
 				r := core.Run(core.Scenario{
-					Net:      exp.T10x2(1),
+					Net:      mustT10x2(b, 1),
 					Downlink: true, Uplink: true,
 					Scheme: core.DOMINO, Traffic: core.Saturated,
 					Duration: sim.Second, Seed: int64(i + 1),
@@ -464,7 +501,7 @@ func BenchmarkScale(b *testing.B) {
 	}{
 		{"2pairs", func() *topo.Network { return topo.TwoPairs(topo.ExposedTerminals) }},
 		{"fig7", topo.Figure7},
-		{"T10x2", func() *topo.Network { return exp.T10x2(1) }},
+		{"T10x2", func() *topo.Network { return mustT10x2(b, 1) }},
 	}
 	for _, c := range cases {
 		c := c

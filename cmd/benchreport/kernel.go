@@ -193,7 +193,10 @@ func kernelReportMain(out, baselinePath string, runs int, duration time.Duration
 		Warmup: 300 * sim.Millisecond, Runs: runs, Workers: 1,
 	}
 	t0 := time.Now()
-	exp.Fig14(o)
+	if _, err := exp.Fig14(o); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: fig14: %v\n", err)
+		os.Exit(1)
+	}
 	rep.Fig14SerialSec = time.Since(t0).Seconds()
 
 	// Compare against the recorded parallel-harness baseline, but only when

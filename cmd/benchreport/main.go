@@ -120,12 +120,20 @@ func main() {
 	fmt.Fprintf(os.Stderr, "fig14: %d runs x %v, workers=1...\n", *runs, *duration)
 	o.Workers = 1
 	t0 := time.Now()
-	serial := exp.Fig14(o)
+	serial, err := exp.Fig14(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: fig14: %v\n", err)
+		os.Exit(1)
+	}
 	rep.Fig14.SerialSec = time.Since(t0).Seconds()
 	fmt.Fprintf(os.Stderr, "fig14: workers=%d...\n", rep.GoMaxProcs)
 	o.Workers = 0
 	t0 = time.Now()
-	par := exp.Fig14(o)
+	par, err := exp.Fig14(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: fig14: %v\n", err)
+		os.Exit(1)
+	}
 	rep.Fig14.ParallelSec = time.Since(t0).Seconds()
 	rep.Fig14.Speedup = rep.Fig14.SerialSec / rep.Fig14.ParallelSec
 	assertSameCDF(serial, par)

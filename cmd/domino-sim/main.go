@@ -1,5 +1,6 @@
 // Command domino-sim runs one channel-access simulation and reports
-// throughput, delay and fairness.
+// throughput, delay and fairness. Scenarios come either from flags or from a
+// declarative spec file (see internal/spec and examples/specs).
 //
 // Topologies:
 //
@@ -14,43 +15,44 @@
 //	domino-sim -topo campus -aps 10 -clients 2 -scheme dcf -down 10 -up 4
 //	domino-sim -topo ht -scheme domino -trace | head -50
 //	domino-sim -topo random -reps 16 -workers 0    # 16 seeds across all cores
+//	domino-sim -spec examples/specs/fig1-domino.json
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/domino"
 	"repro/internal/obs"
 	"repro/internal/parallel"
-	"repro/internal/phy"
-	"repro/internal/sim"
+	"repro/internal/scheme"
+	"repro/internal/spec"
 	"repro/internal/stats"
-	"repro/internal/topo"
 )
 
 func main() {
 	var (
-		topoFlag = flag.String("topo", "fig1", "fig1|fig7|fig13a|fig13b|sc|ht|et|campus|random")
-		aps      = flag.Int("aps", 10, "APs for campus/random topologies")
-		clients  = flag.Int("clients", 2, "clients per AP for campus/random topologies")
-		scheme   = flag.String("scheme", "domino", "dcf|centaur|domino|omniscient")
-		traffic  = flag.String("traffic", "saturated", "saturated|udp|tcp")
-		down     = flag.Float64("down", 10, "downlink offered Mbps per link (udp/tcp)")
-		up       = flag.Float64("up", 10, "uplink offered Mbps per link (udp/tcp)")
-		duration = flag.Duration("duration", 5*time.Second, "simulated time")
-		warmup   = flag.Duration("warmup", 500*time.Millisecond, "statistics warm-up")
-		seed     = flag.Int64("seed", 1, "random seed")
-		reps     = flag.Int("reps", 1, "independent repetitions at derived seeds (seed + i*101)")
-		workers  = flag.Int("workers", 0, "worker pool size for -reps (0 = all cores)")
+		specFile  = flag.String("spec", "", "run the declarative scenario in this JSON spec file (topology/scheme/traffic flags are ignored; -trace/-tracefile/-metrics still apply)")
+		topoFlag  = flag.String("topo", "fig1", strings.Join(spec.Kinds(), "|"))
+		aps       = flag.Int("aps", 10, "APs for campus/random topologies")
+		clients   = flag.Int("clients", 2, "clients per AP for campus/random topologies")
+		schemeFl  = flag.String("scheme", "domino", "registered scheme: "+strings.Join(scheme.Names(), "|"))
+		traffic   = flag.String("traffic", "saturated", "saturated|udp|tcp")
+		downMbps  = flag.Float64("down", 10, "downlink offered Mbps per link (udp/tcp)")
+		upMbps    = flag.Float64("up", 10, "uplink offered Mbps per link (udp/tcp)")
+		duration  = flag.Duration("duration", 5*time.Second, "simulated time")
+		warmup    = flag.Duration("warmup", 500*time.Millisecond, "statistics warm-up")
+		seed      = flag.Int64("seed", 1, "random seed")
+		reps      = flag.Int("reps", 1, "independent repetitions at derived seeds (seed + i*101)")
+		workers   = flag.Int("workers", 0, "worker pool size for -reps (0 = all cores)")
 		noDown    = flag.Bool("nodownlink", false, "omit downlink links")
 		noUp      = flag.Bool("nouplink", false, "omit uplink links")
 		trace     = flag.Bool("trace", false, "print DOMINO engine trace events")
-		traceFile = flag.String("tracefile", "", "write the NDJSON observability trace to this file (- for stdout)")
+		traceFile = flag.String("tracefile", "", "write the NDJSON observability trace to this file (- for stdout; overrides the spec's obs.trace_file)")
 		metrics   = flag.Bool("metrics", false, "collect and print run metrics (counters, airtime breakdown)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address (e.g. localhost:6060)")
 	)
@@ -65,53 +67,50 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/  runtime: http://%s/debug/runtime\n", addr, addr)
 	}
 
-	sc := core.Scenario{
-		Downlink: !*noDown,
-		Uplink:   !*noUp,
-		Seed:     *seed,
-		Duration: sim.Time(duration.Nanoseconds()),
-		Warmup:   sim.Time(warmup.Nanoseconds()),
-		DownMbps: *down,
-		UpMbps:   *up,
+	var sp spec.Spec
+	if *specFile != "" {
+		var err error
+		sp, err = spec.Load(*specFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "domino-sim: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		t := spec.Topology{Kind: *topoFlag}
+		if t.Kind == "campus" || t.Kind == "random" {
+			t.APs, t.Clients = *aps, *clients
+		}
+		downOn, upOn := !*noDown, !*noUp
+		sp = spec.Spec{
+			Scheme:   *schemeFl,
+			Topology: t,
+			Downlink: &downOn,
+			Uplink:   &upOn,
+			Seed:     *seed,
+			Duration: spec.Duration(duration.Nanoseconds()),
+			Warmup:   spec.Duration(warmup.Nanoseconds()),
+			Traffic:  spec.Traffic{Kind: *traffic, DownMbps: *downMbps, UpMbps: *upMbps},
+		}
 	}
-	switch *scheme {
-	case "dcf":
-		sc.Scheme = core.DCF
-	case "centaur":
-		sc.Scheme = core.CENTAUR
-	case "domino":
-		sc.Scheme = core.DOMINO
-	case "omniscient":
-		sc.Scheme = core.Omniscient
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+	if err := sp.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "domino-sim: %v\n", err)
 		os.Exit(2)
 	}
-	switch *traffic {
-	case "saturated":
-		sc.Traffic = core.Saturated
-	case "udp":
-		sc.Traffic = core.UDPCBR
-	case "tcp":
-		sc.Traffic = core.TCP
-	default:
-		fmt.Fprintf(os.Stderr, "unknown traffic %q\n", *traffic)
-		os.Exit(2)
-	}
+	d, _ := scheme.Lookup(sp.Scheme) // Validate guarantees the lookup
+
 	if *reps > 1 {
 		if *trace || *traceFile != "" {
 			fmt.Fprintln(os.Stderr, "-trace/-tracefile are ignored with -reps > 1 (interleaved output)")
 		}
-		runReps(sc, *topoFlag, *aps, *clients, *seed, *reps, *workers, *traffic, *duration)
+		runReps(sp, d.Name, *reps, *workers)
 		return
 	}
 
-	net, err := buildTopo(*topoFlag, *aps, *clients, *seed)
+	sc, err := core.BuildScenario(sp)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "domino-sim: %v\n", err)
 		os.Exit(2)
 	}
-	sc.Net = net
 	if *trace {
 		sc.Trace = func(ev domino.TraceEvent) {
 			link := ""
@@ -121,11 +120,15 @@ func main() {
 			fmt.Printf("%12v slot %-4d %-10s node %-3d %s\n", ev.At, ev.Slot, ev.Kind, ev.Node, link)
 		}
 	}
-	var ndjson *obs.NDJSON
+	tf := sp.Obs.TraceFile
 	if *traceFile != "" {
+		tf = *traceFile
+	}
+	var ndjson *obs.NDJSON
+	if tf != "" {
 		w := os.Stdout
-		if *traceFile != "-" {
-			f, err := os.Create(*traceFile)
+		if tf != "-" {
+			f, err := os.Create(tf)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
@@ -136,11 +139,15 @@ func main() {
 		ndjson = obs.NewNDJSON(w)
 		sc.Tracer = ndjson
 	}
-	if *metrics {
+	if *metrics && sc.Metrics == nil {
 		sc.Metrics = obs.NewMetrics()
 	}
 
-	res := core.Run(sc)
+	res, err := core.RunScenario(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "domino-sim: %v\n", err)
+		os.Exit(1)
+	}
 
 	if ndjson != nil {
 		if err := ndjson.Flush(); err != nil {
@@ -150,12 +157,15 @@ func main() {
 	}
 
 	fmt.Printf("scheme=%s topo=%s traffic=%s duration=%v seed=%d\n",
-		sc.Scheme, *topoFlag, *traffic, *duration, *seed)
+		d.Name, sp.Topology.Kind, sp.TrafficKind(), sc.Duration, sp.Seed)
 	fmt.Printf("aggregate: %.2f Mbps   mean delay: %v   Jain fairness: %.3f\n",
 		res.AggregateMbps, res.MeanDelay, res.Fairness)
 	fmt.Println("per-link throughput (Mbps):")
 	for _, l := range res.Links {
 		fmt.Printf("  %-12s %8.3f\n", l, res.PerLinkMbps[l.ID])
+	}
+	for _, l := range res.SkippedLinks {
+		fmt.Printf("  %-12s (skipped: zero offered rate)\n", l)
 	}
 	if d := res.Domino; d != nil {
 		fmt.Printf("domino: slots=%d data=%d fake=%d polls=%d ackMisses=%d selfStarts=%d drops=%d\n",
@@ -180,29 +190,29 @@ func main() {
 	}
 }
 
-// runReps fans `reps` independent repetitions of the scenario across the
-// worker pool. Repetition i rebuilds its topology and runs at seed
-// seed + i*101, so the numbers are identical at any -workers value.
-func runReps(sc core.Scenario, topoName string, aps, clients int, seed int64, reps, workers int, traffic string, duration time.Duration) {
+// runReps fans `reps` independent repetitions of the spec across the worker
+// pool. Repetition i rebuilds its topology and runs at seed seed + i*101, so
+// the numbers are identical at any -workers value.
+func runReps(sp spec.Spec, schemeName string, reps, workers int) {
 	type rep struct {
 		seed int64
 		agg  float64
 		err  error
 	}
 	results := parallel.Map(workers, reps, func(i int) rep {
-		repSeed := parallel.Seed(seed, i, parallel.DefaultStride)
-		net, err := buildTopo(topoName, aps, clients, repSeed)
+		repSeed := parallel.Seed(sp.Seed, i, parallel.DefaultStride)
+		s := sp // Spec is a value; each rep gets its own copy
+		s.Seed = repSeed
+		s.Topology.Seed = nil // regenerate the topology at the rep seed
+		r, err := core.RunE(s)
 		if err != nil {
 			return rep{seed: repSeed, err: err}
 		}
-		r := sc // Scenario is a value; each rep gets its own copy
-		r.Net = net
-		r.Seed = repSeed
-		return rep{seed: repSeed, agg: core.Run(r).AggregateMbps}
+		return rep{seed: repSeed, agg: r.AggregateMbps}
 	})
 
 	fmt.Printf("scheme=%s topo=%s traffic=%s duration=%v reps=%d workers=%d\n",
-		sc.Scheme, topoName, traffic, duration, reps, parallel.Workers(workers))
+		schemeName, sp.Topology.Kind, sp.TrafficKind(), sp.Duration.Time(), reps, parallel.Workers(workers))
 	agg := &stats.CDF{}
 	failed := 0
 	for i, r := range results {
@@ -222,34 +232,5 @@ func runReps(sc core.Scenario, topoName string, aps, clients int, seed int64, re
 		agg.N(), agg.Quantile(0), agg.Quantile(0.5), agg.Quantile(1))
 	if failed > 0 {
 		fmt.Printf("(%d infeasible repetitions skipped)\n", failed)
-	}
-}
-
-func buildTopo(name string, m, n int, seed int64) (*topo.Network, error) {
-	switch name {
-	case "fig1":
-		return topo.Figure1(), nil
-	case "fig7":
-		return topo.Figure7(), nil
-	case "fig13a":
-		return topo.Figure13a(), nil
-	case "fig13b":
-		return topo.Figure13b(), nil
-	case "sc":
-		return topo.TwoPairs(topo.SameContention), nil
-	case "ht":
-		return topo.TwoPairs(topo.HiddenTerminals), nil
-	case "et":
-		return topo.TwoPairs(topo.ExposedTerminals), nil
-	case "campus":
-		tr := topo.CampusTrace(seed)
-		rng := rand.New(rand.NewSource(seed))
-		return topo.BuildT(tr, m, n, phy.DefaultConfig(), phy.Rate12, rng)
-	case "random":
-		tr := topo.RandomTrace(seed, 110, 800)
-		rng := rand.New(rand.NewSource(seed))
-		return topo.BuildT(tr, m, n, phy.DefaultConfig(), phy.Rate12, rng)
-	default:
-		return nil, fmt.Errorf("unknown topology %q", name)
 	}
 }

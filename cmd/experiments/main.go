@@ -32,72 +32,107 @@ import (
 type experiment struct {
 	name string
 	desc string
-	run  func(o exp.Options)
+	// run prints the experiment's human-readable tables; driver errors
+	// (infeasible topologies, bad configs) surface here instead of
+	// panicking — main prints them and exits non-zero.
+	run func(o exp.Options) error
 	// csv, when non-nil, writes the experiment's machine-readable series.
 	csv func(o exp.Options, w io.Writer) error
 }
 
 func experiments() []experiment {
 	return []experiment{
-		{"table1", "ROP OFDM symbol parameters (Table 1)", func(o exp.Options) {
+		{"table1", "ROP OFDM symbol parameters (Table 1)", func(o exp.Options) error {
 			exp.Table1(os.Stdout)
+			return nil
 		}, nil},
-		{"fig2", "Fig 1 network: DCF/CENTAUR/DOMINO/omniscient (Fig 2)", func(o exp.Options) {
+		{"fig2", "Fig 1 network: DCF/CENTAUR/DOMINO/omniscient (Fig 2)", func(o exp.Options) error {
 			exp.Fig2(o).Print(os.Stdout)
+			return nil
 		}, nil},
-		{"fig5", "received spectra, adjacent subchannels (Fig 5)", func(o exp.Options) {
+		{"fig5", "received spectra, adjacent subchannels (Fig 5)", func(o exp.Options) error {
 			exp.Fig5(o.Seed).Print(os.Stdout)
+			return nil
 		}, nil},
 		{"fig6", "guard subcarriers vs RSS difference (Fig 6)",
-			func(o exp.Options) { exp.Fig6(o).Print(os.Stdout) },
+			func(o exp.Options) error { exp.Fig6(o).Print(os.Stdout); return nil },
 			func(o exp.Options, w io.Writer) error { return exp.Fig6(o).CSV(w) }},
-		{"snrfloor", "ROP decode ratio vs SNR (§3.1)", func(o exp.Options) {
+		{"snrfloor", "ROP decode ratio vs SNR (§3.1)", func(o exp.Options) error {
 			exp.SNRFloor(o).Print(os.Stdout)
+			return nil
 		}, nil},
 		{"fig9", "signature detection vs combined count (Fig 9)",
-			func(o exp.Options) { exp.Fig9(o).Print(os.Stdout) },
-			func(o exp.Options, w io.Writer) error { return exp.Fig9(o).CSV(w) }},
-		{"fig10", "relative-schedule timeline on the Fig 7 network (Fig 10)", func(o exp.Options) {
+			func(o exp.Options) error { return printErr(exp.Fig9(o)) },
+			func(o exp.Options, w io.Writer) error { return csvErr(exp.Fig9(o))(w) }},
+		{"fig10", "relative-schedule timeline on the Fig 7 network (Fig 10)", func(o exp.Options) error {
 			exp.PrintFig10(os.Stdout, exp.Fig10(o, 60))
+			return nil
 		}, nil},
-		{"table2", "USRP prototype: SC/HT/ET, DOMINO vs DCF (Table 2)", func(o exp.Options) {
+		{"table2", "USRP prototype: SC/HT/ET, DOMINO vs DCF (Table 2)", func(o exp.Options) error {
 			exp.Table2(o).Print(os.Stdout)
+			return nil
 		}, nil},
 		{"fig11", "TX misalignment convergence vs wired jitter (Fig 11)",
-			func(o exp.Options) { exp.Fig11(o).Print(os.Stdout) },
-			func(o exp.Options, w io.Writer) error { return exp.Fig11(o).CSV(w) }},
+			func(o exp.Options) error { return printErr(exp.Fig11(o)) },
+			func(o exp.Options, w io.Writer) error { return csvErr(exp.Fig11(o))(w) }},
 		{"fig12udp", "UDP throughput/delay/fairness vs uplink rate (Fig 12a-c)",
-			func(o exp.Options) { exp.Fig12(o, core.UDPCBR).Print(os.Stdout) },
-			func(o exp.Options, w io.Writer) error { return exp.Fig12(o, core.UDPCBR).CSV(w) }},
+			func(o exp.Options) error { return printErr(exp.Fig12(o, core.UDPCBR)) },
+			func(o exp.Options, w io.Writer) error { return csvErr(exp.Fig12(o, core.UDPCBR))(w) }},
 		{"fig12tcp", "TCP throughput/delay/fairness vs uplink rate (Fig 12d-f)",
-			func(o exp.Options) { exp.Fig12(o, core.TCP).Print(os.Stdout) },
-			func(o exp.Options, w io.Writer) error { return exp.Fig12(o, core.TCP).CSV(w) }},
-		{"table3", "exposed-link topologies of Fig 13 (Table 3)", func(o exp.Options) {
+			func(o exp.Options) error { return printErr(exp.Fig12(o, core.TCP)) },
+			func(o exp.Options, w io.Writer) error { return csvErr(exp.Fig12(o, core.TCP))(w) }},
+		{"table3", "exposed-link topologies of Fig 13 (Table 3)", func(o exp.Options) error {
 			exp.Table3(o).Print(os.Stdout)
+			return nil
 		}, nil},
 		{"fig14", "CDF of DOMINO/DCF gain on random T(20,3) (Fig 14)",
-			func(o exp.Options) { exp.Fig14(o).Print(os.Stdout) },
-			func(o exp.Options, w io.Writer) error { return exp.Fig14(o).CSV(w) }},
-		{"polling", "batch size / polling frequency sweep (§5)", func(o exp.Options) {
-			exp.PollingSweep(o).Print(os.Stdout)
+			func(o exp.Options) error { return printErr(exp.Fig14(o)) },
+			func(o exp.Options, w io.Writer) error { return csvErr(exp.Fig14(o))(w) }},
+		{"polling", "batch size / polling frequency sweep (§5)", func(o exp.Options) error {
+			return printErr(exp.PollingSweep(o))
 		}, nil},
-		{"lightload", "light-traffic delay, T(6,5) at 6 KBps (§5)", func(o exp.Options) {
-			exp.LightLoad(o).Print(os.Stdout)
+		{"lightload", "light-traffic delay, T(6,5) at 6 KBps (§5)", func(o exp.Options) error {
+			return printErr(exp.LightLoad(o))
 		}, nil},
 		{"coexist", "CFP/CoP coexistence with external DCF traffic (§5, Fig 15)",
-			func(o exp.Options) { exp.Coexist(o).Print(os.Stdout) },
+			func(o exp.Options) error { exp.Coexist(o).Print(os.Stdout); return nil },
 			func(o exp.Options, w io.Writer) error { return exp.Coexist(o).CSV(w) }},
+	}
+}
+
+// printer is any experiment result that renders itself.
+type printer interface{ Print(w io.Writer) }
+
+// printErr prints the result unless the driver failed.
+func printErr[T printer](r T, err error) error {
+	if err != nil {
+		return err
+	}
+	r.Print(os.Stdout)
+	return nil
+}
+
+// csvWriter is any experiment result with a CSV series.
+type csvWriter interface{ CSV(w io.Writer) error }
+
+// csvErr adapts an error-returning driver to the csv hook.
+func csvErr[T csvWriter](r T, err error) func(io.Writer) error {
+	return func(w io.Writer) error {
+		if err != nil {
+			return err
+		}
+		return r.CSV(w)
 	}
 }
 
 func main() {
 	var (
-		runFlag  = flag.String("run", "", "comma-separated experiment names, or 'all'")
-		list     = flag.Bool("list", false, "list available experiments")
-		scale    = flag.String("scale", "quick", "quick | paper")
-		seed     = flag.Int64("seed", 1, "random seed")
-		duration = flag.Duration("duration", 0, "override simulated run length")
-		runs     = flag.Int("runs", 0, "override Monte-Carlo repetition count")
+		runFlag   = flag.String("run", "", "comma-separated experiment names, or 'all'")
+		list      = flag.Bool("list", false, "list available experiments")
+		scale     = flag.String("scale", "quick", "quick | paper")
+		seed      = flag.Int64("seed", 1, "random seed")
+		duration  = flag.Duration("duration", 0, "override simulated run length")
+		runs      = flag.Int("runs", 0, "override Monte-Carlo repetition count")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for independent runs and sweep points (same numbers at any value)")
 		csvDir    = flag.String("csv", "", "also write machine-readable CSV series into this directory")
 		traceFile = flag.String("trace", "", "write the NDJSON observability trace of supporting experiments (fig2, fig14) to this file")
@@ -193,7 +228,10 @@ func main() {
 		}
 		start := time.Now()
 		fmt.Printf("== %s: %s\n", e.name, e.desc)
-		e.run(o)
+		if err := e.run(o); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
 		if *csvDir != "" && e.csv != nil {
 			path := filepath.Join(*csvDir, e.name+".csv")
 			f, err := os.Create(path)

@@ -1,0 +1,46 @@
+// Command speclint validates declarative scenario spec files without running
+// them: JSON shape (unknown fields rejected), registered scheme, topology
+// reference, link sanity and traffic feasibility. `make specs` lints every
+// example; CI runs it so a broken spec fails the build, not a user.
+//
+// Usage:
+//
+//	speclint examples/specs/*.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/spec"
+
+	// The engines register their scheme descriptors in init; without these
+	// imports Validate would reject every scheme name.
+	_ "repro/internal/centaur"
+	_ "repro/internal/dcf"
+	_ "repro/internal/domino"
+	_ "repro/internal/strict"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: speclint file.json [file.json ...]")
+		os.Exit(2)
+	}
+	failed := 0
+	for _, path := range os.Args[1:] {
+		sp, err := spec.Load(path)
+		if err == nil {
+			err = sp.Validate()
+		}
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "speclint: %s: %v\n", path, err)
+			continue
+		}
+		fmt.Printf("%s: ok (scheme %s, topology %s, traffic %s)\n", path, sp.Scheme, sp.Topology.Kind, sp.TrafficKind())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

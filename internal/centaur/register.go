@@ -1,0 +1,28 @@
+package centaur
+
+import (
+	"fmt"
+
+	"repro/internal/mac"
+	"repro/internal/scheme"
+)
+
+func init() {
+	scheme.MustRegister(scheme.Descriptor{
+		Name:               "CENTAUR",
+		Summary:            "hybrid scheduled-downlink / DCF-uplink baseline",
+		NeedsConflictGraph: true,
+		DefaultConfig: func(p scheme.Params) any {
+			cfg := DefaultConfig()
+			cfg.Rate = p.Rate
+			return &cfg
+		},
+		Build: func(ctx scheme.BuildContext, cfg any) (mac.Engine, error) {
+			c, ok := cfg.(*Config)
+			if !ok {
+				return nil, fmt.Errorf("centaur: Build got config %T, want *centaur.Config", cfg)
+			}
+			return New(ctx.Kernel, ctx.Medium, ctx.Graph, ctx.Events, *c), nil
+		},
+	})
+}

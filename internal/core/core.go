@@ -1,13 +1,20 @@
 // Package core assembles complete experiment scenarios: a topology, a
-// channel-access scheme (DCF, CENTAUR, DOMINO or the omniscient upper
-// bound), a traffic pattern, and a measurement window — and runs them to a
-// Result. It is the high-level API the examples, the experiment harness and
-// the CLIs build on; the paper's individual mechanisms live in the packages
-// it wires together.
+// channel-access scheme looked up in the pluggable registry
+// (internal/scheme), a traffic pattern, and a measurement window — and runs
+// them to a Result. It is the high-level API the examples, the experiment
+// harness and the CLIs build on; the paper's individual mechanisms live in
+// the packages it wires together.
+//
+// Scenarios come in two forms: the programmatic Scenario struct (Run /
+// RunScenario) and the declarative spec.Spec (RunE), which is what the
+// -spec CLI mode and the example spec files use. Both run through the same
+// registry pipeline, so a scheme registered by any package — including a
+// fifth one this package has never heard of — runs identically.
 package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/centaur"
 	"repro/internal/dcf"
@@ -15,6 +22,7 @@ import (
 	"repro/internal/mac"
 	"repro/internal/obs"
 	"repro/internal/phy"
+	"repro/internal/scheme"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/strict"
@@ -37,7 +45,8 @@ const (
 	Omniscient
 )
 
-// String names the scheme as in the paper's figures.
+// String names the scheme as in the paper's figures; the name doubles as
+// the registry key.
 func (s Scheme) String() string {
 	switch s {
 	case DCF:
@@ -75,7 +84,11 @@ type Scenario struct {
 	Downlink, Uplink bool
 
 	Scheme Scheme
-	Seed   int64
+	// SchemeName, when non-empty, selects the scheme by registry name
+	// instead of the Scheme enum — the hook that lets externally registered
+	// schemes run through this package unchanged.
+	SchemeName string
+	Seed       int64
 	// Duration is the simulated time (measurement ends here).
 	Duration sim.Time
 	// Warmup excludes the initial transient from the statistics.
@@ -92,10 +105,13 @@ type Scenario struct {
 	// Rate is the PHY data rate (default 12 Mbps).
 	Rate phy.Rate
 
-	// Tune hooks mutate scheme configs before the engine is built.
+	// Tune hooks mutate scheme configs before the engine is built. The
+	// typed hooks fire only when their scheme runs; Tune fires for every
+	// scheme and receives the pointer Descriptor.DefaultConfig returned.
 	TuneDomino  func(*domino.Config)
 	TuneDCF     func(*dcf.Config)
 	TuneCentaur func(*centaur.Config)
+	Tune        func(cfg any) error
 
 	// MisalignSlots arms DOMINO's misalignment probe (Fig 11).
 	MisalignSlots int
@@ -109,6 +125,14 @@ type Scenario struct {
 	// simulation hot paths pay only their own nil checks.
 	Tracer  obs.Tracer
 	Metrics *obs.Metrics
+}
+
+// schemeName resolves the registry key the scenario selects.
+func (s Scenario) schemeName() string {
+	if s.SchemeName != "" {
+		return s.SchemeName
+	}
+	return s.Scheme.String()
 }
 
 // Result carries a run's measurements.
@@ -125,6 +149,12 @@ type Result struct {
 	// DataMbps sums goodput over non-TCP-ACK... for TCP runs this is the
 	// forward-direction data goodput only.
 	DataMbps float64
+
+	// SkippedLinks lists links the traffic layer offered no load to (a
+	// UDPCBR direction with rate ≤ 0): the run measured fewer flows than
+	// the link set suggests, and callers should say so instead of hiding
+	// it. spec.Validate rejects such specs up front.
+	SkippedLinks []*topo.Link
 
 	// Scheme internals for deeper inspection (nil unless that scheme ran).
 	Domino     *domino.Engine
@@ -143,10 +173,26 @@ type Result struct {
 	Snapshot  obs.Snapshot
 }
 
-// Run executes the scenario and returns its measurements.
+// Run executes the scenario and returns its measurements. It is the
+// panic-on-bad-input compatibility wrapper around RunScenario, kept for the
+// examples and existing tests; new code should prefer RunScenario or the
+// declarative RunE.
 func Run(s Scenario) Result {
+	res, err := RunScenario(s)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	return res
+}
+
+// RunScenario executes the scenario through the scheme registry and returns
+// its measurements, or a descriptive error for invalid input.
+func RunScenario(s Scenario) (Result, error) {
+	if s.Net == nil {
+		return Result{}, fmt.Errorf("invalid network: Scenario.Net is nil")
+	}
 	if err := s.Net.Validate(); err != nil {
-		panic(fmt.Sprintf("core: invalid network: %v", err))
+		return Result{}, fmt.Errorf("invalid network: %w", err)
 	}
 	if s.PacketBytes == 0 {
 		s.PacketBytes = 512
@@ -157,6 +203,11 @@ func Run(s Scenario) Result {
 	if s.Duration == 0 {
 		s.Duration = 10 * sim.Second
 	}
+	d, ok := scheme.Lookup(s.schemeName())
+	if !ok {
+		return Result{}, fmt.Errorf("unknown scheme %q (registered: %s)",
+			s.schemeName(), strings.Join(scheme.Names(), ", "))
+	}
 	links := s.Links
 	if links == nil {
 		links = s.Net.BuildLinks(s.Downlink, s.Uplink)
@@ -165,7 +216,10 @@ func Run(s Scenario) Result {
 	if s.PhyConfig != nil {
 		pcfg = *s.PhyConfig
 	}
-	g := topo.NewConflictGraph(s.Net, links, pcfg, s.Rate)
+	var g *topo.ConflictGraph
+	if d.NeedsConflictGraph {
+		g = topo.NewConflictGraph(s.Net, links, pcfg, s.Rate)
+	}
 	k := sim.New(s.Seed)
 	medium := phy.NewMedium(k, s.Net.RSS, pcfg)
 	hub := &mac.Hub{}
@@ -173,67 +227,68 @@ func Run(s Scenario) Result {
 	res := Result{Links: links, dataLinkID: map[int]bool{}}
 
 	// Observability: one obs.Run spans the kernel, the medium and the MAC
-	// outcome stream; the scheme engines add their own typed records below.
+	// outcome stream; engines implementing scheme.Observable add their own
+	// typed records below.
 	var orun *obs.Run
 	if s.Tracer != nil || s.Metrics != nil {
 		orun = obs.NewRun(s.Tracer, s.Metrics).BindClock(k.Now)
 		k.OnEvent(orun.KernelHook())
 		medium.SetProbe(orun)
 		hub.Add(orun)
-		orun.Start(s.Scheme.String(), s.Seed)
+		orun.Start(d.Name, s.Seed)
 	}
 
-	var engine mac.Engine
-	switch s.Scheme {
-	case DCF:
-		cfg := dcf.DefaultConfig()
-		cfg.Rate = s.Rate
+	// The uniform build pipeline every scheme goes through: default config
+	// with the generic knobs applied, tuning hooks, Build, obs wiring.
+	params := scheme.Params{Rate: s.Rate, PacketBytes: s.PacketBytes, MisalignSlots: s.MisalignSlots}
+	cfg := d.DefaultConfig(params)
+	switch c := cfg.(type) {
+	case *dcf.Config:
 		if s.TuneDCF != nil {
-			s.TuneDCF(&cfg)
+			s.TuneDCF(c)
 		}
-		e := dcf.New(k, medium, links, hub, cfg)
-		if orun != nil {
-			e.Obs = s.Tracer
-			e.EnableQueueSampling(orun.QueueSampler())
-		}
-		res.Dcf = e
-		engine = e
-	case CENTAUR:
-		cfg := centaur.DefaultConfig()
-		cfg.Rate = s.Rate
+	case *centaur.Config:
 		if s.TuneCentaur != nil {
-			s.TuneCentaur(&cfg)
+			s.TuneCentaur(c)
 		}
-		e := centaur.New(k, medium, g, hub, cfg)
-		res.Centaur = e
-		engine = e
-	case DOMINO:
-		cfg := domino.DefaultConfig()
-		cfg.Rate = s.Rate
-		cfg.VirtualBytes = s.PacketBytes
-		cfg.MisalignSlots = s.MisalignSlots
+	case *domino.Config:
 		if s.TuneDomino != nil {
-			s.TuneDomino(&cfg)
+			s.TuneDomino(c)
 		}
-		e := domino.New(k, medium, g, hub, cfg)
+	}
+	if s.Tune != nil {
+		if err := s.Tune(cfg); err != nil {
+			return res, fmt.Errorf("scheme %s: tune: %w", d.Name, err)
+		}
+	}
+	engine, err := d.Build(scheme.BuildContext{
+		Kernel: k, Medium: medium, Net: s.Net, Links: links, Graph: g,
+		Events: hub, Params: params,
+	}, cfg)
+	if err != nil {
+		return res, fmt.Errorf("scheme %s: %w", d.Name, err)
+	}
+	if orun != nil {
+		if o, ok := engine.(scheme.Observable); ok {
+			o.WireObs(s.Tracer, orun.QueueSampler())
+		}
+	}
+
+	// Typed result fields and scheme-specific hooks for the built-in
+	// engines; externally registered schemes simply skip this.
+	switch e := engine.(type) {
+	case *dcf.Engine:
+		res.Dcf = e
+	case *centaur.Engine:
+		res.Centaur = e
+	case *domino.Engine:
 		if s.Trace != nil {
 			e.Trace = s.Trace
 		}
-		if orun != nil {
-			e.Obs = s.Tracer
-			e.EnableQueueSampling(orun.QueueSampler())
-		}
 		res.Domino = e
 		res.Misalign = e.Misalign
-		engine = e
-	case Omniscient:
-		cfg := strict.DefaultConfig()
-		cfg.Rate = s.Rate
-		e := strict.New(k, medium, g, hub, cfg)
+	case *strict.Omniscient:
 		res.Omni = e
-		engine = e
-	default:
-		panic(fmt.Sprintf("core: unknown scheme %d", int(s.Scheme)))
 	}
 
 	coll := stats.NewCollector(len(links), s.Warmup)
@@ -256,6 +311,7 @@ func Run(s Scenario) Result {
 				rate = s.DownMbps
 			}
 			if rate <= 0 {
+				res.SkippedLinks = append(res.SkippedLinks, l)
 				continue
 			}
 			res.dataLinkID[l.ID] = true
@@ -296,6 +352,8 @@ func Run(s Scenario) Result {
 				id++
 			}
 		}
+	default:
+		return res, fmt.Errorf("unknown traffic kind %d", int(s.Traffic))
 	}
 
 	engine.Start()
@@ -321,7 +379,7 @@ func Run(s Scenario) Result {
 		}
 	}
 	res.Fairness = stats.JainIndex(dataRates)
-	return res
+	return res, nil
 }
 
 func otherEnd(l *topo.Link) phy.NodeID {

@@ -1,0 +1,37 @@
+package dcf
+
+import (
+	"fmt"
+
+	"repro/internal/mac"
+	"repro/internal/obs"
+	"repro/internal/scheme"
+)
+
+// WireObs implements scheme.Observable: the run pipeline hands the engine
+// its trace sink and the per-link queue-depth sampler in one call.
+func (e *Engine) WireObs(t obs.Tracer, queueSampler func(link, depth int)) {
+	e.Obs = t
+	if queueSampler != nil {
+		e.EnableQueueSampling(queueSampler)
+	}
+}
+
+func init() {
+	scheme.MustRegister(scheme.Descriptor{
+		Name:    "DCF",
+		Summary: "802.11 distributed coordination function baseline",
+		DefaultConfig: func(p scheme.Params) any {
+			cfg := DefaultConfig()
+			cfg.Rate = p.Rate
+			return &cfg
+		},
+		Build: func(ctx scheme.BuildContext, cfg any) (mac.Engine, error) {
+			c, ok := cfg.(*Config)
+			if !ok {
+				return nil, fmt.Errorf("dcf: Build got config %T, want *dcf.Config", cfg)
+			}
+			return New(ctx.Kernel, ctx.Medium, ctx.Links, ctx.Events, *c), nil
+		},
+	})
+}

@@ -1,0 +1,40 @@
+package domino
+
+import (
+	"fmt"
+
+	"repro/internal/mac"
+	"repro/internal/obs"
+	"repro/internal/scheme"
+)
+
+// WireObs implements scheme.Observable: the run pipeline hands the engine
+// its trace sink and the per-link queue-depth sampler in one call.
+func (e *Engine) WireObs(t obs.Tracer, queueSampler func(link, depth int)) {
+	e.Obs = t
+	if queueSampler != nil {
+		e.EnableQueueSampling(queueSampler)
+	}
+}
+
+func init() {
+	scheme.MustRegister(scheme.Descriptor{
+		Name:               "DOMINO",
+		Summary:            "the paper's relative-scheduling system",
+		NeedsConflictGraph: true,
+		DefaultConfig: func(p scheme.Params) any {
+			cfg := DefaultConfig()
+			cfg.Rate = p.Rate
+			cfg.VirtualBytes = p.PacketBytes
+			cfg.MisalignSlots = p.MisalignSlots
+			return &cfg
+		},
+		Build: func(ctx scheme.BuildContext, cfg any) (mac.Engine, error) {
+			c, ok := cfg.(*Config)
+			if !ok {
+				return nil, fmt.Errorf("domino: Build got config %T, want *domino.Config", cfg)
+			}
+			return New(ctx.Kernel, ctx.Medium, ctx.Graph, ctx.Events, *c), nil
+		},
+	})
+}

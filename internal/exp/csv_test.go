@@ -9,6 +9,15 @@ import (
 	"repro/internal/sim"
 )
 
+// must unwraps an error-returning driver; the tiny test configurations are
+// always feasible, so a failure is a bug worth aborting on.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 func TestCSVWriters(t *testing.T) {
 	o := small()
 	o.Trials = 30
@@ -26,7 +35,7 @@ func TestCSVWriters(t *testing.T) {
 	}
 
 	b.Reset()
-	if err := Fig9(o).CSV(&b); err != nil {
+	if err := must(Fig9(o)).CSV(&b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "setup,combined,detection_ratio") {
@@ -34,7 +43,7 @@ func TestCSVWriters(t *testing.T) {
 	}
 
 	b.Reset()
-	if err := Fig11(o).CSV(&b); err != nil {
+	if err := must(Fig11(o)).CSV(&b); err != nil {
 		t.Fatal(err)
 	}
 	if lines := strings.Count(b.String(), "\n"); lines != 1+4*6 {
@@ -42,7 +51,7 @@ func TestCSVWriters(t *testing.T) {
 	}
 
 	b.Reset()
-	r12 := Fig12(Options{Seed: 1, Duration: sim.Second, Warmup: 200 * sim.Millisecond}, core.UDPCBR)
+	r12 := must(Fig12(Options{Seed: 1, Duration: sim.Second, Warmup: 200 * sim.Millisecond}, core.UDPCBR))
 	if err := r12.CSV(&b); err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +66,7 @@ func TestCSVWriters(t *testing.T) {
 	o14 := small()
 	o14.Runs = 2
 	o14.Duration = sim.Second
-	if err := Fig14(o14).CSV(&b); err != nil {
+	if err := must(Fig14(o14)).CSV(&b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(b.String(), "gain,cdf\n") {

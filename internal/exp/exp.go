@@ -65,14 +65,14 @@ func (o Options) withDefaults() Options {
 
 // T10x2 builds the paper's default simulation topology: T(10, 2) selected
 // from the 40-node two-building campus trace (§4.2.1).
-func T10x2(seed int64) *topo.Network {
+func T10x2(seed int64) (*topo.Network, error) {
 	tr := topo.CampusTrace(seed)
 	rng := rand.New(rand.NewSource(seed))
 	net, err := topo.BuildT(tr, 10, 2, phy.DefaultConfig(), phy.Rate12, rng)
 	if err != nil {
-		panic(fmt.Sprintf("exp: T(10,2) infeasible on campus trace seed %d: %v", seed, err))
+		return nil, fmt.Errorf("exp: T(10,2) infeasible on campus trace seed %d: %w", seed, err)
 	}
-	return net
+	return net, nil
 }
 
 // hline prints a separator sized to the header.
@@ -114,4 +114,21 @@ func runScheme(net *topo.Network, scheme core.Scheme, o Options, mut func(*core.
 		mut(&sc)
 	}
 	return core.Run(sc)
+}
+
+// errCell pairs a parallel task's result with its error so driver fan-outs
+// can propagate failures instead of panicking inside the worker pool.
+type errCell[T any] struct {
+	v   T
+	err error
+}
+
+// firstErr returns the first non-nil error in task order.
+func firstErr[T any](cells []errCell[T]) error {
+	for _, c := range cells {
+		if c.err != nil {
+			return c.err
+		}
+	}
+	return nil
 }

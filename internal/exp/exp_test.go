@@ -16,7 +16,7 @@ func small() Options {
 }
 
 func TestT10x2(t *testing.T) {
-	net := T10x2(7)
+	net := must(T10x2(7))
 	if len(net.APs) != 10 || net.NumNodes() != 30 {
 		t.Fatalf("T(10,2): %d APs %d nodes", len(net.APs), net.NumNodes())
 	}
@@ -107,7 +107,7 @@ func TestSNRFloorShape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
-	r := Fig9(small())
+	r := must(Fig9(small()))
 	for i, row := range r.Detected {
 		for j, v := range row {
 			if v < 0 {
@@ -161,7 +161,7 @@ func TestTable3Shape(t *testing.T) {
 func TestFig11Shape(t *testing.T) {
 	o := small()
 	o.Duration = sim.Second
-	r := Fig11(o)
+	r := must(Fig11(o))
 	for i, std := range r.StdsUs {
 		first := r.MaxUs[i][0]
 		settled := r.MaxUs[i][len(r.MaxUs[i])-1]
@@ -199,7 +199,7 @@ func TestFig10Timeline(t *testing.T) {
 
 func TestFig12UDPShape(t *testing.T) {
 	o := small()
-	r := Fig12(o, core.UDPCBR)
+	r := must(Fig12(o, core.UDPCBR))
 	// DOMINO must beat DCF at zero uplink (paper: +74%) and stay ahead.
 	domino0, dcf0 := r.ThroughputMbps[0][0], r.ThroughputMbps[2][0]
 	if domino0 <= dcf0*1.2 {
@@ -220,7 +220,7 @@ func TestFig12UDPShape(t *testing.T) {
 func TestFig14Shape(t *testing.T) {
 	o := small()
 	o.Duration = 1500 * sim.Millisecond
-	r := Fig14(o)
+	r := must(Fig14(o))
 	if r.Gains.N() == 0 {
 		t.Fatal("no feasible random topologies")
 	}
@@ -241,9 +241,9 @@ func TestFig14Shape(t *testing.T) {
 func TestFig14Deterministic(t *testing.T) {
 	o := Options{Seed: 5, Duration: 400 * sim.Millisecond, Warmup: 100 * sim.Millisecond, Runs: 4}
 	o.Workers = 1
-	serial := Fig14(o)
+	serial := must(Fig14(o))
 	o.Workers = 8
-	par := Fig14(o)
+	par := must(Fig14(o))
 	if serial.Skipped != par.Skipped {
 		t.Fatalf("skipped: workers=1 %d, workers=8 %d", serial.Skipped, par.Skipped)
 	}
@@ -261,7 +261,7 @@ func TestFig14Deterministic(t *testing.T) {
 
 func TestLightLoadShape(t *testing.T) {
 	o := small()
-	r := LightLoad(o)
+	r := must(LightLoad(o))
 	if r.Ratio <= 0 {
 		t.Fatal("no delay measured")
 	}
@@ -275,7 +275,7 @@ func TestLightLoadShape(t *testing.T) {
 func TestPollingSweepShape(t *testing.T) {
 	o := small()
 	o.Duration = 1500 * sim.Millisecond
-	r := PollingSweep(o)
+	r := must(PollingSweep(o))
 	if len(r.HeavyMbps) != len(r.BatchSizes) {
 		t.Fatal("row shape wrong")
 	}

@@ -23,7 +23,7 @@ func TestFig14TraceMatchesReferenceKernel(t *testing.T) {
 		var buf bytes.Buffer
 		o := fig14TraceOpts(1)
 		o.TraceSink = &buf
-		Fig14(o)
+		must(Fig14(o))
 		return &buf
 	}
 	pooled := run()

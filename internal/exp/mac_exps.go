@@ -216,25 +216,38 @@ type Fig11Result struct {
 
 // Fig11 varies the wired latency variance and records how the initial
 // misalignment converges within a few slots (paper Fig 11, on T(10,2)).
-func Fig11(o Options) Fig11Result {
+func Fig11(o Options) (Fig11Result, error) {
 	o = o.withDefaults()
 	res := Fig11Result{StdsUs: []float64{20, 40, 60, 80}, Slots: []int{0, 1, 2, 3, 4, 5}}
-	res.MaxUs = parallel.Map(o.Workers, len(res.StdsUs), func(i int) []float64 {
-		r := core.Run(core.Scenario{
-			Net: T10x2(o.Seed), Downlink: true, Uplink: true, Scheme: core.DOMINO,
+	rows := parallel.Map(o.Workers, len(res.StdsUs), func(i int) errCell[[]float64] {
+		net, err := T10x2(o.Seed)
+		if err != nil {
+			return errCell[[]float64]{err: err}
+		}
+		r, err := core.RunScenario(core.Scenario{
+			Net: net, Downlink: true, Uplink: true, Scheme: core.DOMINO,
 			Seed: o.Seed, Duration: o.Duration, Traffic: core.Saturated,
 			MisalignSlots: len(res.Slots) + 2,
 			TuneDomino: func(c *domino.Config) {
 				c.WiredLatencyStd = sim.Micros(res.StdsUs[i])
 			},
 		})
+		if err != nil {
+			return errCell[[]float64]{err: err}
+		}
 		row := make([]float64, 0, len(res.Slots))
 		for _, slot := range res.Slots {
 			row = append(row, r.Misalign.Max(slot).Microseconds())
 		}
-		return row
+		return errCell[[]float64]{v: row}
 	})
-	return res
+	if err := firstErr(rows); err != nil {
+		return res, err
+	}
+	for _, c := range rows {
+		res.MaxUs = append(res.MaxUs, c.v)
+	}
+	return res, nil
 }
 
 // Print renders the Fig 11 series.

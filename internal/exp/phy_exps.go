@@ -183,11 +183,11 @@ type Fig9Result struct {
 // Fig9 reproduces the signature-detection experiment: five transmitter
 // setups, combined signature counts 1..7, 1000 chip-level trials per point
 // in the paper.
-func Fig9(o Options) Fig9Result {
+func Fig9(o Options) (Fig9Result, error) {
 	o = o.withDefaults()
 	set, err := gold.NewSet(7)
 	if err != nil {
-		panic(err)
+		return Fig9Result{}, fmt.Errorf("exp: Fig9 gold set: %w", err)
 	}
 	res := Fig9Result{Combined: []int{1, 2, 3, 4, 5, 6, 7}, Setups: gold.Fig9Setups()}
 	// One task per (setup, combined) grid point, seeded by grid index; n/a
@@ -223,7 +223,7 @@ func Fig9(o Options) Fig9Result {
 		}
 		res.Detected = append(res.Detected, row)
 	}
-	return res
+	return res, nil
 }
 
 // Print renders the Fig 9 table.

@@ -31,7 +31,7 @@ type Fig12Result struct {
 
 // Fig12 sweeps the uplink offered load on T(10,2). transport is core.UDPCBR
 // or core.TCP.
-func Fig12(o Options, transport core.TrafficKind) Fig12Result {
+func Fig12(o Options, transport core.TrafficKind) (Fig12Result, error) {
 	o = o.withDefaults()
 	name := "UDP"
 	if transport == core.TCP {
@@ -44,19 +44,27 @@ func Fig12(o Options, transport core.TrafficKind) Fig12Result {
 	}
 	// One task per (scheme, uplink-rate) cell of the sweep grid.
 	nr := len(res.UpMbps)
-	runs := parallel.Map(o.Workers, len(res.Schemes)*nr, func(i int) core.Result {
-		return core.Run(core.Scenario{
-			Net: T10x2(o.Seed), Downlink: true, Uplink: true, Scheme: res.Schemes[i/nr],
+	runs := parallel.Map(o.Workers, len(res.Schemes)*nr, func(i int) errCell[core.Result] {
+		net, err := T10x2(o.Seed)
+		if err != nil {
+			return errCell[core.Result]{err: err}
+		}
+		r, err := core.RunScenario(core.Scenario{
+			Net: net, Downlink: true, Uplink: true, Scheme: res.Schemes[i/nr],
 			Seed: o.Seed, Duration: o.Duration, Warmup: o.Warmup,
 			Traffic: transport, DownMbps: 10, UpMbps: res.UpMbps[i%nr],
 		})
+		return errCell[core.Result]{v: r, err: err}
 	})
+	if err := firstErr(runs); err != nil {
+		return res, err
+	}
 	for si := range res.Schemes {
 		tput := make([]float64, nr)
 		delay := make([]float64, nr)
 		fair := make([]float64, nr)
 		for ri := 0; ri < nr; ri++ {
-			r := runs[si*nr+ri]
+			r := runs[si*nr+ri].v
 			tput[ri] = r.DataMbps
 			delay[ri] = r.MeanDelayPerLink.Microseconds()
 			fair[ri] = r.Fairness
@@ -65,7 +73,7 @@ func Fig12(o Options, transport core.TrafficKind) Fig12Result {
 		res.DelayUs = append(res.DelayUs, delay)
 		res.Fairness = append(res.Fairness, fair)
 	}
-	return res
+	return res, nil
 }
 
 // Print renders the three panels of one Fig 12 row.
@@ -104,12 +112,13 @@ type Fig14Result struct {
 // Fig14 runs `o.Runs` random 800×800 m placements (110 nodes, of which the
 // T(20,3) selection uses 80), saturated UDP, and collects DOMINO/DCF
 // aggregate-throughput ratios (paper Fig 14: gains 1.22–1.96, median 1.58).
-func Fig14(o Options) Fig14Result {
+func Fig14(o Options) (Fig14Result, error) {
 	o = o.withDefaults()
 	res := Fig14Result{Gains: &stats.CDF{}}
 	type outcome struct {
 		gains   *stats.CDF
 		skipped bool
+		err     error
 	}
 	// Tracing uses two shards per run (DCF then DOMINO), concatenated in run
 	// order below, so the stream is identical at any worker count.
@@ -128,18 +137,28 @@ func Fig14(o Options) Fig14Result {
 		if err != nil {
 			return outcome{skipped: true}
 		}
-		dcfRes := core.Run(core.Scenario{
-			Net: rebuild(tr, seed), Downlink: true, Uplink: true, Scheme: core.DCF,
+		dcfNet, err := rebuild(tr, seed)
+		if err != nil {
+			return outcome{err: err}
+		}
+		dcfRes, err := core.RunScenario(core.Scenario{
+			Net: dcfNet, Downlink: true, Uplink: true, Scheme: core.DCF,
 			Seed: seed, Duration: o.Duration, Warmup: o.Warmup,
 			Traffic: core.UDPCBR, DownMbps: 10, UpMbps: 10,
 			Tracer: shardTracer(sharded, 2*run),
 		})
-		domRes := core.Run(core.Scenario{
+		if err != nil {
+			return outcome{err: err}
+		}
+		domRes, err := core.RunScenario(core.Scenario{
 			Net: net, Downlink: true, Uplink: true, Scheme: core.DOMINO,
 			Seed: seed, Duration: o.Duration, Warmup: o.Warmup,
 			Traffic: core.UDPCBR, DownMbps: 10, UpMbps: 10,
 			Tracer: shardTracer(sharded, 2*run+1),
 		})
+		if err != nil {
+			return outcome{err: err}
+		}
 		out := outcome{gains: &stats.CDF{}}
 		if dcfRes.AggregateMbps > 0 {
 			out.gains.Add(domRes.AggregateMbps / dcfRes.AggregateMbps)
@@ -147,6 +166,9 @@ func Fig14(o Options) Fig14Result {
 		return out
 	})
 	for _, out := range outcomes {
+		if out.err != nil {
+			return res, out.err
+		}
 		if out.skipped {
 			res.Skipped++
 			continue
@@ -158,19 +180,20 @@ func Fig14(o Options) Fig14Result {
 			fmt.Fprintf(os.Stderr, "exp: Fig14 trace write: %v\n", err)
 		}
 	}
-	return res
+	return res, nil
 }
 
 // rebuild reselects the same T(20,3) (same seed) for the second engine: each
 // engine registers listeners on its own medium, but Network values are
-// cheap.
-func rebuild(tr *topo.Trace, seed int64) *topo.Network {
+// cheap. The first BuildT on the same trace and seed already succeeded, so
+// an error here is a determinism bug worth surfacing, not hiding.
+func rebuild(tr *topo.Trace, seed int64) (*topo.Network, error) {
 	rng := rand.New(rand.NewSource(seed))
 	net, err := topo.BuildT(tr, 20, 3, phy.DefaultConfig(), phy.Rate12, rng)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("exp: Fig14 rebuild diverged at seed %d: %w", seed, err)
 	}
-	return net
+	return net, nil
 }
 
 // Print renders the gain CDF.
@@ -199,31 +222,38 @@ type PollingSweepResult struct {
 
 // PollingSweep varies DOMINO's batch size under heavy and light UDP load on
 // T(10,2) (paper §5 "Polling frequency").
-func PollingSweep(o Options) PollingSweepResult {
+func PollingSweep(o Options) (PollingSweepResult, error) {
 	o = o.withDefaults()
 	res := PollingSweepResult{BatchSizes: []int{4, 8, 12, 24, 48}}
 	// One task per (batch size, load) cell: even indices heavy, odd light.
 	type point struct{ mbps, delayUs float64 }
-	points := parallel.Map(o.Workers, len(res.BatchSizes)*2, func(i int) point {
+	points := parallel.Map(o.Workers, len(res.BatchSizes)*2, func(i int) errCell[point] {
 		rate := 5.0
 		if i%2 == 1 {
 			rate = 0.5
 		}
-		r := core.Run(core.Scenario{
-			Net: T10x2(o.Seed), Downlink: true, Uplink: true, Scheme: core.DOMINO,
+		net, err := T10x2(o.Seed)
+		if err != nil {
+			return errCell[point]{err: err}
+		}
+		r, err := core.RunScenario(core.Scenario{
+			Net: net, Downlink: true, Uplink: true, Scheme: core.DOMINO,
 			Seed: o.Seed, Duration: o.Duration, Warmup: o.Warmup,
 			Traffic: core.UDPCBR, DownMbps: rate, UpMbps: rate,
 			TuneDomino: func(c *domino.Config) { c.BatchSize = res.BatchSizes[i/2] },
 		})
-		return point{r.DataMbps, r.MeanDelay.Microseconds()}
+		return errCell[point]{v: point{r.DataMbps, r.MeanDelay.Microseconds()}, err: err}
 	})
-	for i := range res.BatchSizes {
-		res.HeavyMbps = append(res.HeavyMbps, points[2*i].mbps)
-		res.HeavyDelayUs = append(res.HeavyDelayUs, points[2*i].delayUs)
-		res.LightMbps = append(res.LightMbps, points[2*i+1].mbps)
-		res.LightDelayUs = append(res.LightDelayUs, points[2*i+1].delayUs)
+	if err := firstErr(points); err != nil {
+		return res, err
 	}
-	return res
+	for i := range res.BatchSizes {
+		res.HeavyMbps = append(res.HeavyMbps, points[2*i].v.mbps)
+		res.HeavyDelayUs = append(res.HeavyDelayUs, points[2*i].v.delayUs)
+		res.LightMbps = append(res.LightMbps, points[2*i+1].v.mbps)
+		res.LightDelayUs = append(res.LightDelayUs, points[2*i+1].v.delayUs)
+	}
+	return res, nil
 }
 
 // Print renders the polling-frequency sweep.
@@ -266,7 +296,7 @@ type LightLoadResult struct {
 
 // LightLoad measures DOMINO's control overhead at web-browsing-like rates
 // (48 Kbps per link on T(6,5); paper: delay only 1.14× DCF's).
-func LightLoad(o Options) LightLoadResult {
+func LightLoad(o Options) (LightLoadResult, error) {
 	o = o.withDefaults()
 	// T(6,5) consumes 36 of the trace's 40 nodes, so clients must accept
 	// weaker APs than the default association policy; scan seeds for a
@@ -282,16 +312,12 @@ func LightLoad(o Options) LightLoadResult {
 		}
 	}
 	if feasible < 0 {
-		panic("exp: no campus trace supports T(6,5)")
+		return LightLoadResult{}, fmt.Errorf("exp: no campus trace within 100 seeds of %d supports T(6,5)", o.Seed)
 	}
-	build := func() *topo.Network {
+	build := func() (*topo.Network, error) {
 		tr := topo.CampusTrace(feasible)
 		rng := rand.New(rand.NewSource(o.Seed))
-		net, err := topo.BuildTWithFloor(tr, 6, 5, t65Floor, phy.DefaultConfig(), phy.Rate12, rng)
-		if err != nil {
-			panic(err)
-		}
-		return net
+		return topo.BuildTWithFloor(tr, 6, 5, t65Floor, phy.DefaultConfig(), phy.Rate12, rng)
 	}
 	const rate = 0.048 // 6 KBps
 	scenarios := []core.Scenario{
@@ -299,15 +325,23 @@ func LightLoad(o Options) LightLoadResult {
 		{Scheme: core.DOMINO, TuneDomino: func(c *domino.Config) { c.AdaptiveBatch = true }},
 		{Scheme: core.DCF},
 	}
-	runs := parallel.Map(o.Workers, len(scenarios), func(i int) core.Result {
+	runs := parallel.Map(o.Workers, len(scenarios), func(i int) errCell[core.Result] {
 		sc := scenarios[i]
-		sc.Net = build()
+		net, err := build()
+		if err != nil {
+			return errCell[core.Result]{err: err}
+		}
+		sc.Net = net
 		sc.Downlink, sc.Uplink = true, true
 		sc.Seed, sc.Duration, sc.Warmup = o.Seed, o.Duration, o.Warmup
 		sc.Traffic, sc.DownMbps, sc.UpMbps = core.UDPCBR, rate, rate
-		return core.Run(sc)
+		r, err := core.RunScenario(sc)
+		return errCell[core.Result]{v: r, err: err}
 	})
-	dom, adaptive, d := runs[0], runs[1], runs[2]
+	if err := firstErr(runs); err != nil {
+		return LightLoadResult{}, err
+	}
+	dom, adaptive, d := runs[0].v, runs[1].v, runs[2].v
 	res := LightLoadResult{
 		DominoDelay:   dom.MeanDelay,
 		DCFDelay:      d.MeanDelay,
@@ -317,7 +351,7 @@ func LightLoad(o Options) LightLoadResult {
 		res.Ratio = float64(dom.MeanDelay) / float64(d.MeanDelay)
 		res.AdaptiveRatio = float64(adaptive.MeanDelay) / float64(d.MeanDelay)
 	}
-	return res
+	return res, nil
 }
 
 // Print renders the light-load comparison.

@@ -33,11 +33,11 @@ func TestFig14TraceDeterministicAcrossWorkers(t *testing.T) {
 
 	o := fig14TraceOpts(1)
 	o.TraceSink = &serial
-	r1 := Fig14(o)
+	r1 := must(Fig14(o))
 
 	o = fig14TraceOpts(8)
 	o.TraceSink = &fanned
-	r8 := Fig14(o)
+	r8 := must(Fig14(o))
 
 	if serial.Len() == 0 {
 		t.Fatal("traced Fig 14 produced an empty trace")

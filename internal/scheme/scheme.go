@@ -1,0 +1,154 @@
+// Package scheme is the pluggable channel-access scheme registry. Each
+// engine package self-describes with a Descriptor (name, default config,
+// build function, conflict-graph requirement) and registers it at init time;
+// the core run pipeline, the experiment drivers and the CLIs then construct
+// engines purely by name, so adding a fifth scheme is one Register call —
+// no edits to internal/core or the consumers.
+package scheme
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/mac"
+	"repro/internal/obs"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Params carries the scheme-independent knobs a scenario applies to every
+// engine's default config before the tuning hooks run.
+type Params struct {
+	// Rate is the PHY data rate for data frames.
+	Rate phy.Rate
+	// PacketBytes is the datagram/segment size the traffic layer offers;
+	// schemes that size internal frames from it (DOMINO's virtual frames)
+	// read it here.
+	PacketBytes int
+	// MisalignSlots arms a scheme's misalignment probe when supported
+	// (DOMINO, Fig 11); zero disables.
+	MisalignSlots int
+}
+
+// BuildContext is everything a scheme may wire an engine into: the event
+// kernel, the shared medium, the topology and link set, the conflict graph
+// (nil unless the Descriptor asked for one) and the MAC event fan-out.
+type BuildContext struct {
+	Kernel *sim.Kernel
+	Medium *phy.Medium
+	Net    *topo.Network
+	Links  []*topo.Link
+	// Graph is the link conflict graph; non-nil iff the scheme's Descriptor
+	// set NeedsConflictGraph.
+	Graph  *topo.ConflictGraph
+	Events mac.Events
+	Params Params
+}
+
+// Descriptor is one registered channel-access scheme.
+type Descriptor struct {
+	// Name is the canonical scheme name as printed in results ("DOMINO").
+	// Lookup is case-insensitive, so CLI spellings need no aliases unless
+	// they differ by more than case.
+	Name string
+	// Aliases are additional accepted names ("omni" for "Omniscient").
+	Aliases []string
+	// Summary is a one-line description for CLI listings.
+	Summary string
+	// NeedsConflictGraph asks the pipeline to compute the link conflict
+	// graph before Build (DCF does not need one; polling schemes do).
+	NeedsConflictGraph bool
+	// DefaultConfig returns a pointer to a fresh config struct with the
+	// generic Params already applied. Tuning hooks and declarative
+	// scheme_config overrides mutate the returned value before Build.
+	DefaultConfig func(p Params) any
+	// Build constructs the engine. cfg is the (possibly tuned) value
+	// DefaultConfig returned.
+	Build func(ctx BuildContext, cfg any) (mac.Engine, error)
+}
+
+// Observable is implemented by engines that accept the observability layer:
+// a typed trace sink plus a per-link queue-depth sampler. The run pipeline
+// wires any engine implementing it; others simply run untraced.
+type Observable interface {
+	WireObs(t obs.Tracer, queueSampler func(link, depth int))
+}
+
+var (
+	mu       sync.RWMutex
+	registry = map[string]*Descriptor{}
+	// canonical lists registry keys of canonical names only, for Names().
+	canonical []string
+)
+
+// Register adds a scheme to the registry. It fails on empty or duplicate
+// names (aliases included) and on missing DefaultConfig/Build functions.
+func Register(d Descriptor) error {
+	if d.Name == "" {
+		return fmt.Errorf("scheme: Register with empty Name")
+	}
+	if d.DefaultConfig == nil || d.Build == nil {
+		return fmt.Errorf("scheme: %s: DefaultConfig and Build are required", d.Name)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	keys := append([]string{d.Name}, d.Aliases...)
+	for _, k := range keys {
+		if prev, ok := registry[strings.ToLower(k)]; ok {
+			return fmt.Errorf("scheme: %q already registered (by %s)", k, prev.Name)
+		}
+	}
+	desc := d
+	for _, k := range keys {
+		registry[strings.ToLower(k)] = &desc
+	}
+	canonical = append(canonical, d.Name)
+	sort.Strings(canonical)
+	return nil
+}
+
+// MustRegister is Register for init-time use; it panics on conflict.
+func MustRegister(d Descriptor) {
+	if err := Register(d); err != nil {
+		panic(err)
+	}
+}
+
+// Unregister removes a scheme and its aliases; tests use it to clean up toy
+// registrations. Unknown names are a no-op.
+func Unregister(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	d, ok := registry[strings.ToLower(name)]
+	if !ok {
+		return
+	}
+	delete(registry, strings.ToLower(d.Name))
+	for _, a := range d.Aliases {
+		delete(registry, strings.ToLower(a))
+	}
+	for i, n := range canonical {
+		if n == d.Name {
+			canonical = append(canonical[:i], canonical[i+1:]...)
+			break
+		}
+	}
+}
+
+// Lookup resolves a scheme name (canonical or alias, case-insensitive).
+func Lookup(name string) (*Descriptor, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	d, ok := registry[strings.ToLower(name)]
+	return d, ok
+}
+
+// Names returns the canonical registered names, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	return append([]string(nil), canonical...)
+}

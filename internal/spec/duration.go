@@ -1,0 +1,46 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Duration is a sim.Time that (de)serializes as a human-readable duration
+// string ("5s", "500ms"); plain JSON numbers are accepted as nanoseconds.
+type Duration sim.Time
+
+// Time converts to the kernel's time type.
+func (d Duration) Time() sim.Time { return sim.Time(d) }
+
+// String renders the duration in time.Duration notation.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(d.String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		td, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("spec: bad duration %q: %v", s, err)
+		}
+		*d = Duration(td.Nanoseconds())
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("spec: duration must be a string like \"5s\" or integer nanoseconds: %v", err)
+	}
+	*d = Duration(n)
+	return nil
+}

@@ -1,0 +1,45 @@
+package spec_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// FuzzSpecJSON checks two properties on arbitrary input: Parse never panics,
+// and parsing is idempotent — whatever Parse accepts, re-marshalling and
+// re-parsing reproduces the same document (so specs survive load/save cycles
+// without drifting).
+func FuzzSpecJSON(f *testing.F) {
+	f.Add([]byte(`{"scheme": "dcf", "topology": {"kind": "fig1"}}`))
+	f.Add([]byte(`{"scheme": "domino", "topology": {"kind": "campus", "aps": 10, "clients": 2},
+		"duration": "5s", "traffic": {"kind": "udp", "down_mbps": 10, "up_mbps": 4}}`))
+	f.Add([]byte(`{"scheme": "centaur", "topology": {"kind": "ht"}, "duration": 250000000,
+		"scheme_config": {"Epoch": 1}, "links": [{"sender": 0, "receiver": 1, "downlink": true}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s1, err := spec.Parse(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		_ = s1.Validate() // must not panic either
+		m1, err := json.Marshal(s1)
+		if err != nil {
+			t.Fatalf("accepted spec does not re-marshal: %v", err)
+		}
+		s2, err := spec.Parse(m1)
+		if err != nil {
+			t.Fatalf("re-marshalled spec does not re-parse: %v\n%s", err, m1)
+		}
+		m2, err := json.Marshal(s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(m1, m2) {
+			t.Fatalf("marshal not idempotent:\nfirst  %s\nsecond %s", m1, m2)
+		}
+	})
+}

@@ -1,0 +1,191 @@
+package spec_test
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/spec"
+
+	// Engine packages register their schemes in init; Validate needs them.
+	_ "repro/internal/centaur"
+	_ "repro/internal/dcf"
+	_ "repro/internal/domino"
+	_ "repro/internal/strict"
+)
+
+func boolPtr(b bool) *bool      { return &b }
+func f64Ptr(f float64) *float64 { return &f }
+func i64Ptr(i int64) *int64     { return &i }
+
+// fullSpec exercises every field of the schema.
+func fullSpec() spec.Spec {
+	return spec.Spec{
+		Scheme:   "domino",
+		Topology: spec.Topology{Kind: "random", APs: 5, Clients: 2, Seed: i64Ptr(9), Nodes: 60, AreaM: 500, AssocFloorDBm: f64Ptr(-75)},
+		Links: []spec.Link{
+			{Sender: 0, Receiver: 1, Downlink: true},
+			{Sender: 3, Receiver: 2, Downlink: false},
+		},
+		Downlink:      boolPtr(true),
+		Uplink:        boolPtr(false),
+		Seed:          7,
+		Duration:      spec.Duration(5 * sim.Second),
+		Warmup:        spec.Duration(500 * sim.Millisecond),
+		Traffic:       spec.Traffic{Kind: "udp", DownMbps: 10, UpMbps: 4},
+		PacketBytes:   1024,
+		RateMbps:      24,
+		Phy:           &spec.Phy{NoiseDBm: f64Ptr(-90), SigSINRdB: f64Ptr(3)},
+		MisalignSlots: 8,
+		SchemeConfig:  json.RawMessage(`{"BatchSize":12}`),
+		Obs:           spec.Obs{Metrics: true, TraceFile: "trace.ndjson"},
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	orig := fullSpec()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := spec.Parse(data)
+	if err != nil {
+		t.Fatalf("round-trip parse: %v\n%s", err, data)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Errorf("round trip changed the spec:\nbefore %+v\nafter  %+v", orig, back)
+	}
+}
+
+func TestDurationForms(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want sim.Time
+	}{
+		{`"5s"`, 5 * sim.Second},
+		{`"300ms"`, 300 * sim.Millisecond},
+		{`"1.5s"`, 1500 * sim.Millisecond},
+		{`250000000`, 250 * sim.Millisecond}, // plain nanoseconds
+	} {
+		var d spec.Duration
+		if err := json.Unmarshal([]byte(tc.in), &d); err != nil {
+			t.Errorf("%s: %v", tc.in, err)
+			continue
+		}
+		if d.Time() != tc.want {
+			t.Errorf("%s parsed to %v, want %v", tc.in, d.Time(), tc.want)
+		}
+	}
+	var d spec.Duration
+	if err := json.Unmarshal([]byte(`"not-a-duration"`), &d); err == nil {
+		t.Error("bad duration string accepted")
+	}
+}
+
+func TestParseRejectsUnknownFieldsAndTrailingData(t *testing.T) {
+	if _, err := spec.Parse([]byte(`{"scheme": "dcf", "topolgy": {"kind": "fig1"}}`)); err == nil {
+		t.Error("typo'd field name accepted")
+	}
+	if _, err := spec.Parse([]byte(`{"scheme": "dcf"} {"scheme": "domino"}`)); err == nil {
+		t.Error("trailing document accepted")
+	}
+}
+
+func TestValidateCatalog(t *testing.T) {
+	base := func() spec.Spec {
+		return spec.Spec{Scheme: "dcf", Topology: spec.Topology{Kind: "fig1"}}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*spec.Spec)
+		wantErr string
+	}{
+		{"valid minimal", func(s *spec.Spec) {}, ""},
+		{"missing scheme", func(s *spec.Spec) { s.Scheme = "" }, "scheme is required"},
+		{"unknown scheme", func(s *spec.Spec) { s.Scheme = "aloha" }, "unknown scheme"},
+		{"alias scheme ok", func(s *spec.Spec) { s.Scheme = "omni" }, ""},
+		{"missing topology", func(s *spec.Spec) { s.Topology = spec.Topology{} }, "topology.kind is required"},
+		{"unknown topology", func(s *spec.Spec) { s.Topology.Kind = "mesh" }, "unknown topology kind"},
+		{"fixed topo with aps", func(s *spec.Spec) { s.Topology.APs = 4 }, "is fixed"},
+		{"campus without sizes", func(s *spec.Spec) { s.Topology = spec.Topology{Kind: "campus"} }, "needs aps"},
+		{"campus with nodes", func(s *spec.Spec) {
+			s.Topology = spec.Topology{Kind: "campus", APs: 4, Clients: 2, Nodes: 50}
+		}, "random topology only"},
+		{"negative link node", func(s *spec.Spec) { s.Links = []spec.Link{{Sender: -1, Receiver: 2}} }, "negative node id"},
+		{"self link", func(s *spec.Spec) { s.Links = []spec.Link{{Sender: 3, Receiver: 3}} }, "sender and receiver"},
+		{"no directions no links", func(s *spec.Spec) { s.Downlink, s.Uplink = boolPtr(false), boolPtr(false) }, "no links"},
+		{"negative duration", func(s *spec.Spec) { s.Duration = -1 }, "negative duration"},
+		{"warmup past duration", func(s *spec.Spec) {
+			s.Duration = spec.Duration(sim.Second)
+			s.Warmup = spec.Duration(2 * sim.Second)
+		}, "exceeds duration"},
+		{"negative packet bytes", func(s *spec.Spec) { s.PacketBytes = -4 }, "packet_bytes"},
+		{"off-grid rate", func(s *spec.Spec) { s.RateMbps = 13 }, "not an 802.11g rate"},
+		{"negative misalign", func(s *spec.Spec) { s.MisalignSlots = -1 }, "misalign_slots"},
+		{"unknown traffic", func(s *spec.Spec) { s.Traffic.Kind = "cbr" }, "unknown traffic kind"},
+		{"udp zero downlink rate", func(s *spec.Spec) {
+			s.Traffic = spec.Traffic{Kind: "udp", UpMbps: 5}
+		}, "silently drop every downlink"},
+		{"udp zero uplink rate", func(s *spec.Spec) {
+			s.Traffic = spec.Traffic{Kind: "udp", DownMbps: 5}
+		}, "silently drop every uplink"},
+		{"udp zero rate on explicit link", func(s *spec.Spec) {
+			s.Links = []spec.Link{{Sender: 0, Receiver: 1, Downlink: true}}
+			s.Traffic = spec.Traffic{Kind: "udp", UpMbps: 5}
+		}, "silently drop links[0]"},
+		{"udp ok with one direction off", func(s *spec.Spec) {
+			s.Uplink = boolPtr(false)
+			s.Traffic = spec.Traffic{Kind: "udp", DownMbps: 5}
+		}, ""},
+		{"tcp without rates", func(s *spec.Spec) { s.Traffic = spec.Traffic{Kind: "tcp"} }, "tcp traffic needs"},
+		{"tcp single direction", func(s *spec.Spec) {
+			s.Uplink = boolPtr(false)
+			s.Traffic = spec.Traffic{Kind: "tcp", DownMbps: 5}
+		}, "both directions"},
+		{"scheme_config not object", func(s *spec.Spec) { s.SchemeConfig = json.RawMessage(`[1,2]`) }, "JSON object"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.mutate(&s)
+			err := s.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestExampleSpecsValidate lints every shipped example the same way `make
+// specs` does, so a broken example fails go test too.
+func TestExampleSpecsValidate(t *testing.T) {
+	paths, err := filepath.Glob("../../examples/specs/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example specs found under examples/specs")
+	}
+	for _, p := range paths {
+		sp, err := spec.Load(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if err := sp.Validate(); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+}

@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmt specs build test race race-hot bench bench-obs bench-kernel benchreport benchreport-obs benchreport-kernel
+.PHONY: ci vet fmt specs build test race race-hot bench bench-obs bench-kernel bench-convert benchreport benchreport-obs benchreport-kernel benchreport-convert
 
-ci: vet fmt build test specs race race-hot bench-obs bench-kernel
+ci: vet fmt build test specs race race-hot bench-obs bench-kernel bench-convert
 
 vet:
 	$(GO) vet ./...
@@ -56,6 +56,13 @@ bench-obs:
 bench-kernel:
 	$(GO) run ./cmd/benchreport -kernel -runs 2 -duration 500ms -out /tmp/BENCH_kernel_ci.json
 
+# Conversion-cache gate at a quick configuration: every placement runs with
+# the batch cache on and off, and the run exits non-zero unless the two
+# traces are byte-identical. The committed BENCH_convert.json comes from
+# benchreport-convert below, not from this target.
+bench-convert:
+	$(GO) run ./cmd/benchreport -convert -runs 2 -duration 500ms -out /tmp/BENCH_convert_ci.json
+
 # Refresh BENCH_parallel.json: harness speedup + correlator hot-path numbers.
 benchreport:
 	$(GO) run ./cmd/benchreport
@@ -70,3 +77,8 @@ benchreport-obs:
 # (16 runs x 2s), so fig14_improvement_pct compares like for like.
 benchreport-kernel:
 	$(GO) run ./cmd/benchreport -kernel
+
+# Refresh BENCH_convert.json: conversion ns/batch with the cache on vs off and
+# the steady-state hit rate, on the 16-placement x 2s Fig 14 workload.
+benchreport-convert:
+	$(GO) run ./cmd/benchreport -convert

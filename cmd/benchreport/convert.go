@@ -1,0 +1,181 @@
+package main
+
+// The -convert mode measures the schedule-conversion pipeline and its batch
+// cache on a steady-state Fig 14 workload: every feasible T(20,3) placement
+// runs twice — cache enabled (the default) and disabled — with the NDJSON
+// trace of each pair asserted byte-identical before any timing is reported.
+// The headline numbers are the amortized conversion cost per dispatched batch
+// on each side and the cache hit rate.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/convert"
+	"repro/internal/core"
+	"repro/internal/domino"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// convertSide aggregates the conversion metrics of all runs on one cache
+// setting.
+type convertSide struct {
+	Batches     int64 `json:"batches"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// HitRatePct is CacheHits over Batches; the steady-state reuse the cache
+	// actually achieves on this workload.
+	HitRatePct float64 `json:"hit_rate_pct"`
+	// PassNs records the wall-clock nanoseconds each pipeline pass spent,
+	// summed over all runs. Cache hits skip the passes entirely, so the
+	// cached side only pays these on misses.
+	PassNs map[string]int64 `json:"pass_ns"`
+	// NsPerBatch is total pass time amortized over every dispatched batch —
+	// the effective conversion cost the engine pays per batch.
+	NsPerBatch float64 `json:"ns_per_batch"`
+}
+
+type convertReport struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Runs       int    `json:"runs"`
+	Skipped    int    `json:"skipped"`
+	Duration   string `json:"duration"`
+
+	Cached   convertSide `json:"cached"`
+	Uncached convertSide `json:"uncached"`
+	// SpeedupPerBatch is uncached over cached ns/batch: how much cheaper the
+	// amortized conversion is with the batch cache on.
+	SpeedupPerBatch float64 `json:"speedup_per_batch"`
+	// OutputIdentical is the differential gate: every placement's NDJSON
+	// trace and aggregate throughput matched byte for byte / digit for digit
+	// across the two cache settings. False exits non-zero.
+	OutputIdentical bool `json:"output_identical"`
+}
+
+// runConvertSide runs one fig14-style DOMINO placement with the given cache
+// setting, accumulating conversion metrics into side and returning the NDJSON
+// trace and aggregate throughput for the differential gate.
+func runConvertSide(side *convertSide, seed int64, duration time.Duration, noCache bool) ([]byte, float64, error) {
+	// Rebuild the network from the trace each time: a topo.Network carries
+	// per-run queue state and cannot be shared between runs.
+	tr := topo.RandomTrace(seed, 110, 800)
+	rng := rand.New(rand.NewSource(seed))
+	net, err := topo.BuildT(tr, 20, 3, phy.DefaultConfig(), phy.Rate12, rng)
+	if err != nil {
+		return nil, 0, err
+	}
+	var buf bytes.Buffer
+	nd := obs.NewNDJSON(&buf)
+	m := obs.NewMetrics()
+	res, err := core.RunScenario(core.Scenario{
+		Net: net, Downlink: true, Uplink: true, Scheme: core.DOMINO,
+		Seed: seed, Duration: sim.Time(duration.Nanoseconds()),
+		Warmup:  300 * sim.Millisecond,
+		Traffic: core.UDPCBR, DownMbps: 10, UpMbps: 10,
+		Tracer: nd, Metrics: m,
+		TuneDomino: func(c *domino.Config) { c.NoConvertCache = noCache },
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := nd.Flush(); err != nil {
+		return nil, 0, err
+	}
+	snap := m.Snapshot()
+	counter := func(name string) int64 {
+		mv, _ := snap.Get(name)
+		return int64(mv.Value)
+	}
+	side.Batches += counter("convert.batches")
+	side.CacheHits += counter("convert.cache.hits")
+	side.CacheMisses += counter("convert.cache.misses")
+	for _, name := range convert.PassNames {
+		side.PassNs[name] += counter("convert.pass." + name + ".ns")
+	}
+	return buf.Bytes(), res.AggregateMbps, nil
+}
+
+func (s *convertSide) finish() {
+	if s.Batches > 0 {
+		s.HitRatePct = 100 * float64(s.CacheHits) / float64(s.Batches)
+		total := int64(0)
+		for _, ns := range s.PassNs {
+			total += ns
+		}
+		s.NsPerBatch = float64(total) / float64(s.Batches)
+	}
+}
+
+func convertReportMain(out string, runs int, duration time.Duration, seed int64) {
+	rep := convertReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Runs:       runs,
+		Duration:   duration.String(),
+		Cached:     convertSide{PassNs: map[string]int64{}},
+		Uncached:   convertSide{PassNs: map[string]int64{}},
+	}
+
+	fmt.Fprintf(os.Stderr, "convert: %d fig14 placements x %v, cache on/off...\n", runs, duration)
+	rep.OutputIdentical = true
+	for run := 0; run < runs; run++ {
+		runSeed := parallel.Seed(seed, run, parallel.DefaultStride)
+		cachedTrace, cachedAgg, err := runConvertSide(&rep.Cached, runSeed, duration, false)
+		if err != nil {
+			// Infeasible placement (BuildT rejects some traces), same as the
+			// Fig 14 driver skips it.
+			rep.Skipped++
+			continue
+		}
+		uncachedTrace, uncachedAgg, err := runConvertSide(&rep.Uncached, runSeed, duration, true)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: convert run %d: cache-off run failed after cache-on succeeded: %v\n", run, err)
+			os.Exit(1)
+		}
+		if !bytes.Equal(cachedTrace, uncachedTrace) {
+			fmt.Fprintf(os.Stderr, "FAIL: run %d (seed %d): trace differs with cache on (%d bytes) vs off (%d bytes)\n",
+				run, runSeed, len(cachedTrace), len(uncachedTrace))
+			rep.OutputIdentical = false
+		}
+		if cachedAgg != uncachedAgg {
+			fmt.Fprintf(os.Stderr, "FAIL: run %d (seed %d): aggregate %.9f Mbps cached vs %.9f uncached\n",
+				run, runSeed, cachedAgg, uncachedAgg)
+			rep.OutputIdentical = false
+		}
+	}
+	if rep.Skipped == runs {
+		fmt.Fprintln(os.Stderr, "benchreport: convert: every placement was infeasible")
+		os.Exit(1)
+	}
+	rep.Cached.finish()
+	rep.Uncached.finish()
+	if rep.Cached.NsPerBatch > 0 {
+		rep.SpeedupPerBatch = rep.Uncached.NsPerBatch / rep.Cached.NsPerBatch
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: convert %.0f ns/batch cached (hit rate %.0f%%) vs %.0f uncached (%.1fx), outputs identical=%v\n",
+		out, rep.Cached.NsPerBatch, rep.Cached.HitRatePct,
+		rep.Uncached.NsPerBatch, rep.SpeedupPerBatch, rep.OutputIdentical)
+	if !rep.OutputIdentical {
+		os.Exit(1)
+	}
+}

@@ -10,6 +10,7 @@
 //	go run ./cmd/benchreport -obs                # observability overhead, writes BENCH_obs.json
 //	go run ./cmd/benchreport -obs -strict        # fail (exit 1) on >2% disabled-path regression
 //	go run ./cmd/benchreport -kernel             # pooled kernel + planned FFT, writes BENCH_kernel.json
+//	go run ./cmd/benchreport -convert            # conversion pipeline + batch cache, writes BENCH_convert.json
 //
 // The wall-clock comparisons run each driver twice — workers=1 and
 // workers=GOMAXPROCS — on the same seed; the outputs are asserted identical
@@ -74,15 +75,16 @@ func micro(b testing.BenchmarkResult) microBench {
 
 func main() {
 	var (
-		out        = flag.String("out", "", "output path (default BENCH_parallel.json, or BENCH_obs.json with -obs)")
-		runs       = flag.Int("runs", 16, "Fig 14 repetition count")
-		duration   = flag.Duration("duration", 2*time.Second, "simulated run length per Fig 14 placement")
-		trials     = flag.Int("trials", 1000, "detection-curve trials per point")
-		seed       = flag.Int64("seed", 1, "base seed")
-		obsMode    = flag.Bool("obs", false, "measure observability overhead instead (kernel + correlator, disabled vs enabled)")
-		kernelMode = flag.Bool("kernel", false, "measure the pooled event kernel and planned FFT instead, writes BENCH_kernel.json")
-		strict     = flag.Bool("strict", false, "with -obs: exit 1 when the disabled path regresses >2% vs the baseline")
-		baseline   = flag.String("baseline", "BENCH_parallel.json", "with -obs: baseline report for the correlator_detect comparison")
+		out         = flag.String("out", "", "output path (default BENCH_parallel.json, or BENCH_obs.json with -obs)")
+		runs        = flag.Int("runs", 16, "Fig 14 repetition count")
+		duration    = flag.Duration("duration", 2*time.Second, "simulated run length per Fig 14 placement")
+		trials      = flag.Int("trials", 1000, "detection-curve trials per point")
+		seed        = flag.Int64("seed", 1, "base seed")
+		obsMode     = flag.Bool("obs", false, "measure observability overhead instead (kernel + correlator, disabled vs enabled)")
+		kernelMode  = flag.Bool("kernel", false, "measure the pooled event kernel and planned FFT instead, writes BENCH_kernel.json")
+		convertMode = flag.Bool("convert", false, "measure the schedule-conversion pipeline and batch cache instead, writes BENCH_convert.json")
+		strict      = flag.Bool("strict", false, "with -obs: exit 1 when the disabled path regresses >2% vs the baseline")
+		baseline    = flag.String("baseline", "BENCH_parallel.json", "with -obs: baseline report for the correlator_detect comparison")
 	)
 	flag.Parse()
 
@@ -98,6 +100,13 @@ func main() {
 			*out = "BENCH_kernel.json"
 		}
 		kernelReportMain(*out, *baseline, *runs, *duration, *seed)
+		return
+	}
+	if *convertMode {
+		if *out == "" {
+			*out = "BENCH_convert.json"
+		}
+		convertReportMain(*out, *runs, *duration, *seed)
 		return
 	}
 	if *out == "" {

@@ -52,6 +52,9 @@ func main() {
 		noDown    = flag.Bool("nodownlink", false, "omit downlink links")
 		noUp      = flag.Bool("nouplink", false, "omit uplink links")
 		trace     = flag.Bool("trace", false, "print DOMINO engine trace events")
+		schedFl   = flag.String("scheduler", "", "DOMINO strict scheduling policy by name (see internal/strict registry; a spec's scheme_config.scheduler wins)")
+		convTrace = flag.Bool("convert-trace", false, "emit per-batch schedule-conversion records into the NDJSON trace (DOMINO)")
+		noCache   = flag.Bool("no-convert-cache", false, "disable DOMINO's conversion cache")
 		traceFile = flag.String("tracefile", "", "write the NDJSON observability trace to this file (- for stdout; overrides the spec's obs.trace_file)")
 		metrics   = flag.Bool("metrics", false, "collect and print run metrics (counters, airtime breakdown)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address (e.g. localhost:6060)")
@@ -110,6 +113,22 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "domino-sim: %v\n", err)
 		os.Exit(2)
+	}
+	if *schedFl != "" || *convTrace || *noCache {
+		// CLI-level DOMINO knobs ride the typed tune hook, which core runs
+		// before the spec's scheme_config — so a spec file always wins.
+		sched, ct, nc := *schedFl, *convTrace, *noCache
+		prev := sc.TuneDomino
+		sc.TuneDomino = func(c *domino.Config) {
+			if prev != nil {
+				prev(c)
+			}
+			if sched != "" {
+				c.Scheduler = sched
+			}
+			c.ConvertTrace = c.ConvertTrace || ct
+			c.NoConvertCache = c.NoConvertCache || nc
+		}
 	}
 	if *trace {
 		sc.Trace = func(ev domino.TraceEvent) {
@@ -170,6 +189,10 @@ func main() {
 	if d := res.Domino; d != nil {
 		fmt.Printf("domino: slots=%d data=%d fake=%d polls=%d ackMisses=%d selfStarts=%d drops=%d\n",
 			d.Slots(), d.DataSends, d.FakeSends, d.Polls, d.AckMisses, d.SelfStarts, d.Drops)
+		if hits, misses := d.ConvertCacheStats(); hits+misses > 0 {
+			fmt.Printf("domino: convert cache hits=%d misses=%d (%.0f%% hit rate)\n",
+				hits, misses, 100*float64(hits)/float64(hits+misses))
+		}
 	}
 	if d := res.Dcf; d != nil {
 		fmt.Printf("dcf: ackTimeouts=%d drops=%d\n", d.AckTimeouts, d.Drops)

@@ -97,6 +97,9 @@ func experiments() []experiment {
 		{"coexist", "CFP/CoP coexistence with external DCF traffic (§5, Fig 15)",
 			func(o exp.Options) error { exp.Coexist(o).Print(os.Stdout); return nil },
 			func(o exp.Options, w io.Writer) error { return exp.Coexist(o).CSV(w) }},
+		{"schedulers", "DOMINO under each registered strict scheduling policy",
+			func(o exp.Options) error { return printErr(exp.SchedulerSweep(o)) },
+			func(o exp.Options, w io.Writer) error { return csvErr(exp.SchedulerSweep(o))(w) }},
 	}
 }
 

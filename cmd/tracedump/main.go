@@ -30,7 +30,7 @@ type run struct {
 	end    sim.Time
 	closed bool
 
-	counts [16]int // indexed by obs.Kind; sized past numKinds
+	counts [24]int // indexed by obs.Kind; sized past numKinds
 	air    obs.Airtime
 	lastTx sim.Time
 
@@ -40,6 +40,16 @@ type run struct {
 	queueMax     int64
 	kernelDepth  int64 // max pending seen in kernel samples
 	kernelEvents int64 // total fired, from the last kernel sample
+
+	// Schedule-conversion counters, from KindConvert records (present when
+	// the run had domino's ConvertTrace on).
+	convBatches, convCacheHits     int64
+	convSlots                      int64
+	convReal, convFake             int64
+	convTriggers, convBackup       int64
+	convBoundary, convUntriggered  int64
+	convROPSlots, convPollTriggers int64
+	convInbound, convCombined      map[int64]int64
 }
 
 func main() {
@@ -120,6 +130,41 @@ func (r *run) observe(rec obs.Record) {
 		if rec.Extra > r.kernelEvents {
 			r.kernelEvents = rec.Extra
 		}
+	case obs.KindConvert:
+		r.observeConvert(rec)
+	}
+}
+
+// observeConvert accumulates one per-batch conversion counter (see
+// domino.Config.ConvertTrace for the record layout).
+func (r *run) observeConvert(rec obs.Record) {
+	switch rec.Aux {
+	case "fake_link_insert":
+		r.convReal += rec.Value
+		r.convFake += rec.Extra
+	case "trigger_assign":
+		r.convTriggers += rec.Value
+		r.convBackup += rec.Extra
+	case "batch_connect":
+		r.convBoundary += rec.Value
+		r.convUntriggered += rec.Extra
+	case "rop_insert":
+		r.convROPSlots += rec.Value
+		r.convPollTriggers += rec.Extra
+	case "cache":
+		r.convBatches++
+		r.convCacheHits += rec.Value
+		r.convSlots += rec.Extra
+	case "inbound":
+		if r.convInbound == nil {
+			r.convInbound = map[int64]int64{}
+		}
+		r.convInbound[rec.Value] += rec.Extra
+	case "combined":
+		if r.convCombined == nil {
+			r.convCombined = map[int64]int64{}
+		}
+		r.convCombined[rec.Value] += rec.Extra
 	}
 }
 
@@ -168,11 +213,62 @@ func (r *run) print(w io.Writer, idx, slots int) {
 			r.kernelEvents, r.kernelDepth)
 	}
 
+	r.printConvert(w)
+
 	if slots > 0 && len(r.slotEvents) > 0 {
 		fmt.Fprintf(w, "slot timeline (first %d slots):\n", slots)
 		r.printTimeline(w, slots)
 	}
 	fmt.Fprintln(w)
+}
+
+// printConvert renders the trigger-chain summary built from the per-batch
+// conversion records (domino-sim -convert-trace).
+func (r *run) printConvert(w io.Writer) {
+	if r.convBatches == 0 {
+		return
+	}
+	fmt.Fprintf(w, "schedule conversion: %d batches, %d slots, cache hits %d/%d (%.0f%%)\n",
+		r.convBatches, r.convSlots, r.convCacheHits, r.convBatches,
+		100*float64(r.convCacheHits)/float64(r.convBatches))
+	triggers := r.convTriggers + r.convBoundary
+	if r.convSlots > 0 {
+		fmt.Fprintf(w, "  triggers: %d (%.2f per slot; %d backup, %d across batch boundaries, %d entries untriggered)\n",
+			triggers, float64(triggers)/float64(r.convSlots),
+			r.convBackup, r.convBoundary, r.convUntriggered)
+	}
+	if entries := r.convReal + r.convFake; entries > 0 {
+		fmt.Fprintf(w, "  entries: %d (%.0f%% fake-link cover)\n",
+			entries, 100*float64(r.convFake)/float64(entries))
+	}
+	if r.convROPSlots > 0 {
+		fmt.Fprintf(w, "  rop: %d polling slots, %d poll triggers planted\n",
+			r.convROPSlots, r.convPollTriggers)
+	}
+	histogram := func(name string, m map[int64]int64, note func(int64) string) {
+		if len(m) == 0 {
+			return
+		}
+		keys := make([]int64, 0, len(m))
+		total := int64(0)
+		for k, n := range m {
+			keys = append(keys, k)
+			total += n
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		fmt.Fprintf(w, "  %s:", name)
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %d→%d (%.0f%%)%s", k, m[k], 100*float64(m[k])/float64(total), note(k))
+		}
+		fmt.Fprintln(w)
+	}
+	histogram("triggers per entry", r.convInbound, func(int64) string { return "" })
+	histogram("combined signatures per broadcast", r.convCombined, func(k int64) string {
+		if k > 4 {
+			return " OVER LIMIT"
+		}
+		return ""
+	})
 }
 
 // printTimeline renders the slot chain: for each slot index in order of first

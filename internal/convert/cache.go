@@ -1,0 +1,208 @@
+package convert
+
+import (
+	"repro/internal/phy"
+	"repro/internal/strict"
+)
+
+// DefaultCacheCap bounds the conversion cache. Steady-state workloads cycle
+// through a small set of converter states (the batch is a function of the
+// estimate vector and the schedulers' rotation state), so a few hundred
+// entries cover the cycle with room to spare.
+const DefaultCacheCap = 512
+
+// Cache memoizes whole-batch conversions. The key is a byte serialization
+// of everything the pipeline reads: the converter knobs, the cover
+// rotation, the strict batch, the poll list, and the full retained-slot
+// state. Equal key ⇒ equal pre-conversion state ⇒ the passes would
+// recompute exactly the stored result, so replaying it is bit-identical —
+// including the broadcast rewrite BatchConnect performs on the retained
+// slot the engine is still executing.
+type Cache struct {
+	capacity int
+	entries  map[string]*cacheEntry
+	order    []string // insertion order, for FIFO eviction
+	keyBuf   []byte
+
+	Hits, Misses int64
+}
+
+type cacheEntry struct {
+	// slots is a pristine deep copy of the converted schedule; replays hand
+	// out fresh copies so the engine's mutations (the next BatchConnect
+	// filling the last slot's broadcasts) never reach the cache.
+	slots []RelSlot
+	// prevBroadcasts is the broadcast list BatchConnect left on the
+	// retained slot, replayed onto the live retained slot on a hit. Empty
+	// when the conversion had no previous batch.
+	prevBroadcasts []Broadcast
+	forced         []phy.NodeID
+	// coverRotAfter is the cover rotation the pipeline left behind.
+	coverRotAfter int
+	stats         Stats
+}
+
+// EnableCache turns on conversion caching with the given capacity (0 means
+// DefaultCacheCap). Hit statistics restart from zero.
+func (c *Converter) EnableCache(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultCacheCap
+	}
+	c.cache = &Cache{capacity: capacity, entries: make(map[string]*cacheEntry)}
+}
+
+// DisableCache turns conversion caching off and drops all entries.
+func (c *Converter) DisableCache() { c.cache = nil }
+
+// CacheStats returns hits and misses since EnableCache; zeros when caching
+// is off.
+func (c *Converter) CacheStats() (hits, misses int64) {
+	if c.cache == nil {
+		return 0, 0
+	}
+	return c.cache.Hits, c.cache.Misses
+}
+
+// appendInt serializes one non-negative int as 4 little-endian bytes (all
+// serialized values — link IDs, node IDs, lengths, rotation — are small).
+func appendInt(b []byte, v int) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendNodes(b []byte, ns []phy.NodeID) []byte {
+	b = appendInt(b, len(ns))
+	for _, n := range ns {
+		b = appendInt(b, int(n))
+	}
+	return b
+}
+
+// cacheKey serializes the complete pre-conversion state.
+func (c *Converter) cacheKey(batch strict.Schedule, pollAPs []phy.NodeID) string {
+	b := c.cache.keyBuf[:0]
+	b = appendInt(b, c.MaxInbound)
+	b = appendInt(b, c.MaxOutbound)
+	if c.DisableFakeCover {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendInt(b, c.coverRot)
+	b = appendInt(b, len(batch))
+	for _, slot := range batch {
+		b = appendInt(b, len(slot))
+		for _, id := range slot {
+			b = appendInt(b, id)
+		}
+	}
+	b = appendNodes(b, pollAPs)
+	if c.prev == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = appendInt(b, len(c.prev.Entries))
+		for _, e := range c.prev.Entries {
+			b = appendInt(b, e.Link.ID)
+			if e.Fake {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+			b = appendNodes(b, e.TriggeredBy)
+		}
+		b = appendInt(b, len(c.prev.Broadcasts))
+		for _, bc := range c.prev.Broadcasts {
+			b = appendInt(b, int(bc.From))
+			b = appendNodes(b, bc.Targets)
+		}
+		b = appendNodes(b, c.prev.ROPAfter)
+	}
+	c.cache.keyBuf = b
+	return string(b)
+}
+
+// cacheReplay applies a stored conversion: fresh slot copies, the retained
+// slot's broadcast rewrite, and the converter state the pipeline would have
+// left behind.
+func (c *Converter) cacheReplay(key string, batch strict.Schedule, pollAPs []phy.NodeID) (*Plan, bool) {
+	e, ok := c.cache.entries[key]
+	if !ok {
+		c.cache.Misses++
+		return nil, false
+	}
+	c.cache.Hits++
+	slots := copySlots(e.slots)
+	p := &Plan{
+		Batch: batch, PollAPs: pollAPs, Prev: c.prev,
+		Slots:     slots,
+		ForcedROP: append([]phy.NodeID(nil), e.forced...),
+		Stats:     e.stats,
+		g:         c.G, maxInbound: c.MaxInbound, maxOutbound: c.MaxOutbound,
+	}
+	p.Stats.CacheHit = true
+	if c.prev != nil {
+		c.prev.Broadcasts = copyBroadcasts(e.prevBroadcasts)
+	}
+	c.coverRot = e.coverRotAfter
+	c.Untriggered += e.stats.Untriggered
+	if len(slots) > 0 {
+		c.prev = &slots[len(slots)-1]
+	}
+	return p, true
+}
+
+// cacheStore snapshots a freshly-converted plan under key, evicting the
+// oldest entry at capacity.
+func (c *Converter) cacheStore(key string, p *Plan) {
+	e := &cacheEntry{
+		slots:         copySlots(p.Slots),
+		forced:        append([]phy.NodeID(nil), p.ForcedROP...),
+		coverRotAfter: c.coverRot,
+		stats:         p.Stats,
+	}
+	e.stats.CacheHit = false
+	e.stats.PassNs = [NumPasses]int64{}
+	if p.Prev != nil {
+		e.prevBroadcasts = copyBroadcasts(p.Prev.Broadcasts)
+	}
+	if len(c.cache.entries) >= c.cache.capacity {
+		oldest := c.cache.order[0]
+		c.cache.order = c.cache.order[1:]
+		delete(c.cache.entries, oldest)
+	}
+	c.cache.entries[key] = e
+	c.cache.order = append(c.cache.order, key)
+}
+
+func copyBroadcasts(src []Broadcast) []Broadcast {
+	if src == nil {
+		return nil
+	}
+	out := make([]Broadcast, len(src))
+	for i, b := range src {
+		out[i] = Broadcast{From: b.From, Targets: append([]phy.NodeID(nil), b.Targets...)}
+	}
+	return out
+}
+
+func copySlots(src []RelSlot) []RelSlot {
+	out := make([]RelSlot, len(src))
+	for i, s := range src {
+		var entries []Entry
+		if s.Entries != nil {
+			entries = make([]Entry, len(s.Entries))
+			for j, e := range s.Entries {
+				entries[j] = Entry{
+					Link: e.Link, Fake: e.Fake,
+					TriggeredBy: append([]phy.NodeID(nil), e.TriggeredBy...),
+				}
+			}
+		}
+		out[i] = RelSlot{
+			Entries:    entries,
+			Broadcasts: copyBroadcasts(s.Broadcasts),
+			ROPAfter:   append([]phy.NodeID(nil), s.ROPAfter...),
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package convert
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/strict"
+	"repro/internal/topo"
+)
+
+// fixedBatch returns the same strict batch every call: converter state then
+// cycles after the first round, the steady-state shape the cache targets.
+func fixedBatch(g *topo.ConflictGraph, n int) strict.Schedule {
+	r := strict.NewRAND(g)
+	var batch strict.Schedule
+	for i := 0; i < n; i++ {
+		batch = append(batch, r.NextSlot(func(int) int { return 1 }))
+	}
+	return batch
+}
+
+// TestCacheReplayBitIdentical drives a cached and an uncached converter
+// through the same batch sequence and requires every plan — and every
+// broadcast rewrite of the engine-held retained slot — to be deeply equal.
+func TestCacheReplayBitIdentical(t *testing.T) {
+	net := topo.Figure7()
+	g := topo.NewConflictGraph(net, net.BuildLinks(true, true), phy.DefaultConfig(), phy.Rate12)
+	cold, warm := New(g), New(g)
+	warm.EnableCache(0)
+	for round := 0; round < 12; round++ {
+		b := fixedBatch(g, len(g.Links))
+		pc := cold.ConvertPlan(b, net.APs)
+		pw := warm.ConvertPlan(b, net.APs)
+		if !reflect.DeepEqual(pc.Slots, pw.Slots) {
+			t.Fatalf("round %d: cached slots diverge from uncached", round)
+		}
+		if !reflect.DeepEqual(pc.ForcedROP, pw.ForcedROP) {
+			t.Fatalf("round %d: forced placements diverge", round)
+		}
+		// The retained-slot rewrite (batch connection) must also replay
+		// identically: the engine executes from this slot.
+		if !reflect.DeepEqual(cold.prev, warm.prev) {
+			t.Fatalf("round %d: retained slots diverge", round)
+		}
+		if cold.Untriggered != warm.Untriggered {
+			t.Fatalf("round %d: untriggered %d vs %d", round, cold.Untriggered, warm.Untriggered)
+		}
+		if err := Verify(pw); err != nil {
+			t.Fatalf("round %d: cached plan fails Verify: %v", round, err)
+		}
+	}
+	hits, misses := warm.CacheStats()
+	if hits == 0 {
+		t.Errorf("steady-state identical batches produced no cache hits (misses=%d)", misses)
+	}
+	if h, m := cold.CacheStats(); h != 0 || m != 0 {
+		t.Errorf("uncached converter reports cache traffic %d/%d", h, m)
+	}
+}
+
+// TestCacheHitPreservesStats pins the replayed stats to the original
+// conversion's counters (wall-clock pass times zeroed, CacheHit set).
+func TestCacheHitPreservesStats(t *testing.T) {
+	net := topo.Figure7()
+	g := topo.NewConflictGraph(net, net.BuildLinks(true, true), phy.DefaultConfig(), phy.Rate12)
+	c := New(g)
+	c.EnableCache(0)
+	var missStats, hitStats *Stats
+	for round := 0; round < 12; round++ {
+		p := c.ConvertPlan(fixedBatch(g, len(g.Links)), net.APs)
+		if p.Stats.CacheHit && hitStats == nil {
+			hitStats = &p.Stats
+		} else if !p.Stats.CacheHit {
+			missStats = &p.Stats
+		}
+	}
+	if hitStats == nil {
+		t.Fatal("no cache hit in 12 steady-state rounds")
+	}
+	for i, ns := range hitStats.PassNs {
+		if ns != 0 {
+			t.Errorf("hit PassNs[%d] = %d, want 0", i, ns)
+		}
+	}
+	if hitStats.Triggers != missStats.Triggers || hitStats.Slots != missStats.Slots ||
+		hitStats.FakeEntries != missStats.FakeEntries {
+		t.Errorf("hit stats %+v diverge from miss stats %+v", hitStats, missStats)
+	}
+}
+
+func TestCacheKeyDistinguishesState(t *testing.T) {
+	net := topo.Figure7()
+	g := topo.NewConflictGraph(net, net.BuildLinks(true, true), phy.DefaultConfig(), phy.Rate12)
+	c := New(g)
+	c.EnableCache(0)
+	b := fixedBatch(g, 4)
+	k1 := c.cacheKey(b, net.APs)
+	if k2 := c.cacheKey(b, nil); k2 == k1 {
+		t.Error("key ignores the poll list")
+	}
+	if k2 := c.cacheKey(b[:3], net.APs); k2 == k1 {
+		t.Error("key ignores the batch")
+	}
+	c.coverRot++
+	if k2 := c.cacheKey(b, net.APs); k2 == k1 {
+		t.Error("key ignores the cover rotation")
+	}
+	c.coverRot--
+	c.ConvertPlan(b, net.APs) // sets a retained slot
+	if k2 := c.cacheKey(b, net.APs); k2 == k1 {
+		t.Error("key ignores the retained slot")
+	}
+}
+
+func TestCacheEvictionBound(t *testing.T) {
+	net := topo.Figure7()
+	g := topo.NewConflictGraph(net, net.BuildLinks(true, true), phy.DefaultConfig(), phy.Rate12)
+	c := New(g)
+	c.EnableCache(2)
+	// Every round has a distinct retained-slot state (growing trigger
+	// history is irrelevant — the batches differ), so entries keep arriving.
+	for i := 0; i < 10; i++ {
+		c.ConvertPlan(strict.Schedule{{i % len(g.Links)}}, net.APs)
+		if len(c.cache.entries) > 2 || len(c.cache.order) > 2 {
+			t.Fatalf("round %d: cache grew past capacity: %d entries", i, len(c.cache.entries))
+		}
+	}
+	if _, misses := c.CacheStats(); misses == 0 {
+		t.Error("distinct states produced no misses")
+	}
+}
+
+func TestDisableCache(t *testing.T) {
+	net := topo.Figure7()
+	g := topo.NewConflictGraph(net, net.BuildLinks(true, true), phy.DefaultConfig(), phy.Rate12)
+	c := New(g)
+	c.EnableCache(0)
+	c.ConvertPlan(fixedBatch(g, 2), nil)
+	c.DisableCache()
+	if h, m := c.CacheStats(); h != 0 || m != 0 {
+		t.Errorf("stats after DisableCache: %d/%d", h, m)
+	}
+	c.ConvertPlan(fixedBatch(g, 2), nil) // must not panic without a cache
+}

@@ -3,17 +3,23 @@
 // into a relative schedule in which every slot's transmissions are triggered
 // by signature broadcasts from the previous slot.
 //
-// The converter applies, in order: fake-link insertion (each slot becomes a
-// maximal cover of the conflict graph so triggers reach the whole network),
-// trigger assignment (strongest-SNR first, at most MaxInbound triggers per
-// link and MaxOutbound signatures per broadcasting node), batch connection
-// (the last slot of a batch is retained to trigger the next batch's first
-// slot), and greedy ROP-slot insertion (compatible APs share a polling slot).
+// The conversion is an explicit pass pipeline over a shared *Plan:
+//
+//	FakeLinkInsert  each slot becomes a maximal cover of the conflict
+//	                graph so triggers reach the whole network
+//	TriggerAssign   consecutive slots inside the batch are wired
+//	                strongest-SNR first (≤ MaxInbound in, ≤ MaxOutbound out)
+//	BatchConnect    the retained last slot of the previous batch is wired
+//	                to trigger this batch's first slot
+//	ROPInsert       polling slots are placed greedily; compatible APs
+//	                share one
+//
+// ConvertPlan runs the pipeline (or replays a cached conversion) and
+// returns the Plan; Verify checks the output invariants; Convert is the
+// schedule-only wrapper.
 package convert
 
 import (
-	"sort"
-
 	"repro/internal/phy"
 	"repro/internal/strict"
 	"repro/internal/topo"
@@ -66,7 +72,7 @@ type RelSchedule struct {
 }
 
 // Converter carries conversion state across batches (the retained last slot
-// that implements batch connection).
+// that implements batch connection) and drives the pass pipeline.
 type Converter struct {
 	G           *topo.ConflictGraph
 	MaxInbound  int
@@ -79,6 +85,10 @@ type Converter struct {
 	// coverRot rotates the fake-cover scan order so padded slots don't
 	// always favour low link IDs.
 	coverRot int
+
+	// cache, when non-nil, memoizes whole-batch conversions keyed by the
+	// converter's complete pre-conversion state (see EnableCache).
+	cache *Cache
 
 	// Untriggered counts entries for which no trigger path existed (e.g.
 	// across disconnected interference domains). Such entries stay in the
@@ -93,250 +103,16 @@ func New(g *topo.ConflictGraph) *Converter {
 }
 
 // Reset forgets the retained slot (a fresh first batch: APs start the first
-// slot spontaneously).
+// slot spontaneously). Cached conversions stay valid — their keys embed the
+// retained-slot state, so they can only replay in an equal state.
 func (c *Converter) Reset() { c.prev = nil }
 
 // Convert turns one strict batch into a relative schedule. pollAPs lists the
 // APs that must execute ROP during this batch (normally all APs, once per
 // batch). The retained last slot of the previous batch triggers this batch's
 // first slot; slot 0 of the very first batch has no triggers and is started
-// by the APs directly.
+// by the APs directly. Convert is the schedule-only wrapper around
+// ConvertPlan.
 func (c *Converter) Convert(batch strict.Schedule, pollAPs []phy.NodeID) *RelSchedule {
-	rs := &RelSchedule{}
-	for _, slot := range batch {
-		rel := c.buildSlot(slot)
-		rs.Slots = append(rs.Slots, rel)
-	}
-	// Assign triggers between consecutive slots (including prev -> slot 0).
-	prev := c.prev
-	for i := range rs.Slots {
-		if prev != nil {
-			c.assignTriggers(prev, &rs.Slots[i])
-		}
-		prev = &rs.Slots[i]
-	}
-	c.insertROP(rs, pollAPs)
-	if len(rs.Slots) > 0 {
-		// Batch connection: retain the last slot itself. Its Broadcasts are
-		// still empty — the next batch's Convert fills them in, and because
-		// the engine holds the same slot, the triggers become visible to it
-		// before the slot's end (convert the next batch while the current
-		// one is still executing).
-		c.prev = &rs.Slots[len(rs.Slots)-1]
-	}
-	return rs
-}
-
-// buildSlot expands a strict slot to a maximal cover with fake links,
-// scanning candidates from a rotating start for fairness.
-func (c *Converter) buildSlot(slot strict.Slot) RelSlot {
-	real := make(map[int]bool, len(slot))
-	for _, id := range slot {
-		real[id] = true
-	}
-	cover := []int(slot)
-	if !c.DisableFakeCover {
-		n := len(c.G.Links)
-		order := make([]int, n)
-		for i := range order {
-			order[i] = (i + c.coverRot) % n
-		}
-		c.coverRot = (c.coverRot + 1) % n
-		cover = c.G.MaximalIndependentSet(slot, order)
-	}
-	rel := RelSlot{}
-	for _, id := range cover {
-		rel.Entries = append(rel.Entries, Entry{Link: c.G.Links[id], Fake: !real[id]})
-	}
-	return rel
-}
-
-// assignTriggers wires the links of next to broadcasters in prev: for each
-// link, pick the candidate trigger link whose better endpoint has the
-// highest SNR at the link's sender; repeat for a backup trigger. Outbound
-// capacity is per broadcasting node.
-func (c *Converter) assignTriggers(prev, next *RelSlot) {
-	outbound := map[phy.NodeID]int{}
-	inbound := make([]int, len(next.Entries))
-	targets := map[phy.NodeID][]phy.NodeID{}
-	// Preserve broadcasts already planted on prev (ROP poll triggers added
-	// when prev was the last slot of the previous batch).
-	for _, b := range prev.Broadcasts {
-		outbound[b.From] += len(b.Targets)
-		targets[b.From] = append(targets[b.From], b.Targets...)
-	}
-
-	// candidate broadcasters in prev: both endpoints of every entry.
-	type cand struct {
-		node phy.NodeID
-		link *topo.Link
-	}
-	var cands []cand
-	seen := map[phy.NodeID]bool{}
-	for _, e := range prev.Entries {
-		for _, n := range []phy.NodeID{e.Link.Sender, e.Link.Receiver} {
-			if !seen[n] {
-				seen[n] = true
-				cands = append(cands, cand{n, e.Link})
-			}
-		}
-	}
-
-	// Two rounds: primary triggers first, then backups.
-	for round := 0; round < c.MaxInbound; round++ {
-		for i := range next.Entries {
-			if inbound[i] != round {
-				continue // did not get a trigger in an earlier round
-			}
-			target := next.Entries[i].Link.Sender
-			best := -1
-			bestSNR := 0.0
-			for ci, cd := range cands {
-				if outbound[cd.node] >= c.MaxOutbound {
-					continue
-				}
-				if cd.node == target {
-					continue // a node does not trigger itself
-				}
-				if c.G.Net.RSS[cd.node][target] < topo.TriggerFloorDBm {
-					continue
-				}
-				already := false
-				for _, t := range next.Entries[i].TriggeredBy {
-					if t == cd.node {
-						already = true
-						break
-					}
-				}
-				if already {
-					continue
-				}
-				snr := c.G.Net.RSS[cd.node][target]
-				if best == -1 || snr > bestSNR {
-					best = ci
-					bestSNR = snr
-				}
-			}
-			if best == -1 {
-				continue
-			}
-			b := cands[best]
-			outbound[b.node]++
-			inbound[i]++
-			next.Entries[i].TriggeredBy = append(next.Entries[i].TriggeredBy, b.node)
-			targets[b.node] = append(targets[b.node], target)
-		}
-	}
-
-	for i, e := range next.Entries {
-		if inbound[i] == 0 && !e.Fake {
-			c.Untriggered++
-		}
-	}
-
-	// Deterministic broadcast list.
-	var froms []phy.NodeID
-	for n := range targets {
-		froms = append(froms, n)
-	}
-	sort.Slice(froms, func(a, b int) bool { return froms[a] < froms[b] })
-	prev.Broadcasts = prev.Broadcasts[:0]
-	for _, n := range froms {
-		prev.Broadcasts = append(prev.Broadcasts, Broadcast{From: n, Targets: targets[n]})
-	}
-}
-
-// insertROP greedily places polling slots: for each AP, find the earliest
-// slot whose links can trigger the AP; share an already-inserted ROP slot
-// when the APs don't conflict (paper §3.3).
-func (c *Converter) insertROP(rs *RelSchedule, pollAPs []phy.NodeID) {
-	for _, ap := range pollAPs {
-		placed := false
-		for i := range rs.Slots {
-			canTrigger := false
-			for _, e := range rs.Slots[i].Entries {
-				if c.G.CanTriggerNode(e.Link, ap) {
-					canTrigger = true
-					break
-				}
-			}
-			if !canTrigger {
-				continue
-			}
-			if len(rs.Slots[i].ROPAfter) == 0 {
-				rs.Slots[i].ROPAfter = []phy.NodeID{ap}
-				c.addPollTrigger(&rs.Slots[i], ap)
-				placed = true
-				break
-			}
-			// Try to share the existing ROP slot.
-			share := true
-			for _, other := range rs.Slots[i].ROPAfter {
-				if c.G.APConflict(ap, other) {
-					share = false
-					break
-				}
-			}
-			if share {
-				rs.Slots[i].ROPAfter = append(rs.Slots[i].ROPAfter, ap)
-				c.addPollTrigger(&rs.Slots[i], ap)
-				placed = true
-				break
-			}
-		}
-		if !placed && len(rs.Slots) > 0 {
-			// Fall back to the first slot; polling beats starving the AP's
-			// clients even if the trigger is weak.
-			rs.Slots[0].ROPAfter = append(rs.Slots[0].ROPAfter, ap)
-			c.addPollTrigger(&rs.Slots[0], ap)
-		}
-	}
-}
-
-// addPollTrigger ensures the polling AP's own signature rides in the slot's
-// end-of-slot broadcasts so the AP has a time reference for its poll. An AP
-// already active (or broadcasting) in the slot needs none.
-func (c *Converter) addPollTrigger(slot *RelSlot, ap phy.NodeID) {
-	for _, e := range slot.Entries {
-		if e.Link.Sender == ap || e.Link.Receiver == ap {
-			return // the AP participates in the slot: it knows the boundary
-		}
-	}
-	// Pick the strongest endpoint with spare outbound capacity.
-	load := map[phy.NodeID]int{}
-	for _, b := range slot.Broadcasts {
-		load[b.From] = len(b.Targets)
-	}
-	best := phy.NodeID(-1)
-	bestRSS := 0.0
-	for _, e := range slot.Entries {
-		for _, n := range []phy.NodeID{e.Link.Sender, e.Link.Receiver} {
-			if load[n] >= c.MaxOutbound {
-				continue
-			}
-			rss := c.G.Net.RSS[n][ap]
-			if rss < topo.TriggerFloorDBm {
-				continue
-			}
-			if best == -1 || rss > bestRSS {
-				best = n
-				bestRSS = rss
-			}
-		}
-	}
-	if best == -1 {
-		return // unreachable AP: it will free-run its poll (engine fallback)
-	}
-	for i := range slot.Broadcasts {
-		if slot.Broadcasts[i].From == best {
-			for _, tgt := range slot.Broadcasts[i].Targets {
-				if tgt == ap {
-					return
-				}
-			}
-			slot.Broadcasts[i].Targets = append(slot.Broadcasts[i].Targets, ap)
-			return
-		}
-	}
-	slot.Broadcasts = append(slot.Broadcasts, Broadcast{From: best, Targets: []phy.NodeID{ap}})
+	return &RelSchedule{Slots: c.ConvertPlan(batch, pollAPs).Slots}
 }

@@ -1,0 +1,306 @@
+package convert
+
+import (
+	"sort"
+
+	"repro/internal/phy"
+	"repro/internal/strict"
+	"repro/internal/topo"
+)
+
+// FakeLinkInsert expands every strict slot to a maximal cover of the
+// conflict graph (paper §3.3 step 1): converter-inserted fake links keep the
+// trigger chain reaching the whole network. With DisableFakeCover the strict
+// slots pass through unchanged.
+type FakeLinkInsert struct{}
+
+// Name implements Pass.
+func (FakeLinkInsert) Name() string { return PassNames[0] }
+
+// Apply implements Pass.
+func (FakeLinkInsert) Apply(c *Converter, p *Plan) {
+	for _, slot := range p.Batch {
+		p.Slots = append(p.Slots, c.buildSlot(slot))
+	}
+	p.Stats.Slots = len(p.Slots)
+	for i := range p.Slots {
+		for _, e := range p.Slots[i].Entries {
+			if e.Fake {
+				p.Stats.FakeEntries++
+			} else {
+				p.Stats.RealEntries++
+			}
+		}
+	}
+}
+
+// buildSlot expands a strict slot to a maximal cover with fake links,
+// scanning candidates from a rotating start for fairness.
+func (c *Converter) buildSlot(slot strict.Slot) RelSlot {
+	real := make(map[int]bool, len(slot))
+	for _, id := range slot {
+		real[id] = true
+	}
+	cover := []int(slot)
+	if !c.DisableFakeCover {
+		n := len(c.G.Links)
+		order := make([]int, n)
+		for i := range order {
+			order[i] = (i + c.coverRot) % n
+		}
+		c.coverRot = (c.coverRot + 1) % n
+		cover = c.G.MaximalIndependentSet(slot, order)
+	}
+	rel := RelSlot{}
+	for _, id := range cover {
+		rel.Entries = append(rel.Entries, Entry{Link: c.G.Links[id], Fake: !real[id]})
+	}
+	return rel
+}
+
+// TriggerAssign wires every consecutive slot pair inside the batch (paper
+// §3.3 step 2): each slot's transmitters are triggered by signature
+// broadcasts from the previous slot, strongest-SNR first, at most MaxInbound
+// triggers per link and MaxOutbound signatures per broadcasting node.
+type TriggerAssign struct{}
+
+// Name implements Pass.
+func (TriggerAssign) Name() string { return PassNames[1] }
+
+// Apply implements Pass.
+func (TriggerAssign) Apply(c *Converter, p *Plan) {
+	for i := 1; i < len(p.Slots); i++ {
+		c.assignTriggers(&p.Slots[i-1], &p.Slots[i], &p.Stats)
+	}
+}
+
+// BatchConnect wires the batch boundary (paper §3.3 step 3): the retained
+// last slot of the previous batch triggers this batch's slot 0. On the very
+// first batch there is nothing to connect — the APs start slot 0
+// spontaneously.
+type BatchConnect struct{}
+
+// Name implements Pass.
+func (BatchConnect) Name() string { return PassNames[2] }
+
+// Apply implements Pass.
+func (BatchConnect) Apply(c *Converter, p *Plan) {
+	if p.Prev == nil || len(p.Slots) == 0 {
+		return
+	}
+	before := p.Stats.Triggers
+	c.assignTriggers(p.Prev, &p.Slots[0], &p.Stats)
+	p.Stats.BoundaryTriggers = p.Stats.Triggers - before
+}
+
+// assignTriggers wires the links of next to broadcasters in prev: for each
+// link, pick the candidate trigger link whose better endpoint has the
+// highest SNR at the link's sender; repeat for a backup trigger. Outbound
+// capacity is per broadcasting node.
+func (c *Converter) assignTriggers(prev, next *RelSlot, st *Stats) {
+	outbound := map[phy.NodeID]int{}
+	inbound := make([]int, len(next.Entries))
+	targets := map[phy.NodeID][]phy.NodeID{}
+	// Preserve broadcasts already planted on prev (ROP poll triggers added
+	// when prev was the last slot of the previous batch).
+	for _, b := range prev.Broadcasts {
+		outbound[b.From] += len(b.Targets)
+		targets[b.From] = append(targets[b.From], b.Targets...)
+	}
+
+	// candidate broadcasters in prev: both endpoints of every entry.
+	type cand struct {
+		node phy.NodeID
+		link *topo.Link
+	}
+	var cands []cand
+	seen := map[phy.NodeID]bool{}
+	for _, e := range prev.Entries {
+		for _, n := range []phy.NodeID{e.Link.Sender, e.Link.Receiver} {
+			if !seen[n] {
+				seen[n] = true
+				cands = append(cands, cand{n, e.Link})
+			}
+		}
+	}
+
+	// Two rounds: primary triggers first, then backups.
+	for round := 0; round < c.MaxInbound; round++ {
+		for i := range next.Entries {
+			if inbound[i] != round {
+				continue // did not get a trigger in an earlier round
+			}
+			target := next.Entries[i].Link.Sender
+			best := -1
+			bestSNR := 0.0
+			for ci, cd := range cands {
+				if outbound[cd.node] >= c.MaxOutbound {
+					continue
+				}
+				if cd.node == target {
+					continue // a node does not trigger itself
+				}
+				if c.G.Net.RSS[cd.node][target] < topo.TriggerFloorDBm {
+					continue
+				}
+				already := false
+				for _, t := range next.Entries[i].TriggeredBy {
+					if t == cd.node {
+						already = true
+						break
+					}
+				}
+				if already {
+					continue
+				}
+				snr := c.G.Net.RSS[cd.node][target]
+				if best == -1 || snr > bestSNR {
+					best = ci
+					bestSNR = snr
+				}
+			}
+			if best == -1 {
+				continue
+			}
+			b := cands[best]
+			outbound[b.node]++
+			inbound[i]++
+			next.Entries[i].TriggeredBy = append(next.Entries[i].TriggeredBy, b.node)
+			targets[b.node] = append(targets[b.node], target)
+			st.Triggers++
+			if round > 0 {
+				st.BackupTriggers++
+			}
+		}
+	}
+
+	for i, e := range next.Entries {
+		if inbound[i] == 0 && !e.Fake {
+			st.Untriggered++
+		}
+	}
+
+	// Deterministic broadcast list.
+	var froms []phy.NodeID
+	for n := range targets {
+		froms = append(froms, n)
+	}
+	sort.Slice(froms, func(a, b int) bool { return froms[a] < froms[b] })
+	prev.Broadcasts = prev.Broadcasts[:0]
+	for _, n := range froms {
+		prev.Broadcasts = append(prev.Broadcasts, Broadcast{From: n, Targets: targets[n]})
+	}
+}
+
+// ROPInsert greedily places polling slots (paper §3.3 step 4): for each AP,
+// find the earliest slot whose links can trigger the AP; share an
+// already-inserted ROP slot when the APs don't conflict. APs with no
+// triggerable slot are force-placed on slot 0 and recorded in
+// Plan.ForcedROP.
+type ROPInsert struct{}
+
+// Name implements Pass.
+func (ROPInsert) Name() string { return PassNames[3] }
+
+// Apply implements Pass.
+func (ROPInsert) Apply(c *Converter, p *Plan) {
+	for _, ap := range p.PollAPs {
+		placed := false
+		for i := range p.Slots {
+			canTrigger := false
+			for _, e := range p.Slots[i].Entries {
+				if c.G.CanTriggerNode(e.Link, ap) {
+					canTrigger = true
+					break
+				}
+			}
+			if !canTrigger {
+				continue
+			}
+			if len(p.Slots[i].ROPAfter) == 0 {
+				p.Slots[i].ROPAfter = []phy.NodeID{ap}
+				c.addPollTrigger(&p.Slots[i], ap, &p.Stats)
+				placed = true
+				break
+			}
+			// Try to share the existing ROP slot.
+			share := true
+			for _, other := range p.Slots[i].ROPAfter {
+				if c.G.APConflict(ap, other) {
+					share = false
+					break
+				}
+			}
+			if share {
+				p.Slots[i].ROPAfter = append(p.Slots[i].ROPAfter, ap)
+				c.addPollTrigger(&p.Slots[i], ap, &p.Stats)
+				p.Stats.ROPShared++
+				placed = true
+				break
+			}
+		}
+		if !placed && len(p.Slots) > 0 {
+			// Fall back to the first slot; polling beats starving the AP's
+			// clients even if the trigger is weak.
+			p.Slots[0].ROPAfter = append(p.Slots[0].ROPAfter, ap)
+			c.addPollTrigger(&p.Slots[0], ap, &p.Stats)
+			p.ForcedROP = append(p.ForcedROP, ap)
+			p.Stats.ROPForced++
+		}
+	}
+	for i := range p.Slots {
+		if len(p.Slots[i].ROPAfter) > 0 {
+			p.Stats.ROPSlots++
+		}
+	}
+}
+
+// addPollTrigger ensures the polling AP's own signature rides in the slot's
+// end-of-slot broadcasts so the AP has a time reference for its poll. An AP
+// already active (or broadcasting) in the slot needs none.
+func (c *Converter) addPollTrigger(slot *RelSlot, ap phy.NodeID, st *Stats) {
+	for _, e := range slot.Entries {
+		if e.Link.Sender == ap || e.Link.Receiver == ap {
+			return // the AP participates in the slot: it knows the boundary
+		}
+	}
+	// Pick the strongest endpoint with spare outbound capacity.
+	load := map[phy.NodeID]int{}
+	for _, b := range slot.Broadcasts {
+		load[b.From] = len(b.Targets)
+	}
+	best := phy.NodeID(-1)
+	bestRSS := 0.0
+	for _, e := range slot.Entries {
+		for _, n := range []phy.NodeID{e.Link.Sender, e.Link.Receiver} {
+			if load[n] >= c.MaxOutbound {
+				continue
+			}
+			rss := c.G.Net.RSS[n][ap]
+			if rss < topo.TriggerFloorDBm {
+				continue
+			}
+			if best == -1 || rss > bestRSS {
+				best = n
+				bestRSS = rss
+			}
+		}
+	}
+	if best == -1 {
+		return // unreachable AP: it will free-run its poll (engine fallback)
+	}
+	for i := range slot.Broadcasts {
+		if slot.Broadcasts[i].From == best {
+			for _, tgt := range slot.Broadcasts[i].Targets {
+				if tgt == ap {
+					return
+				}
+			}
+			slot.Broadcasts[i].Targets = append(slot.Broadcasts[i].Targets, ap)
+			st.PollTriggers++
+			return
+		}
+	}
+	slot.Broadcasts = append(slot.Broadcasts, Broadcast{From: best, Targets: []phy.NodeID{ap}})
+	st.PollTriggers++
+}

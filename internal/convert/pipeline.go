@@ -1,0 +1,133 @@
+package convert
+
+import (
+	"time"
+
+	"repro/internal/phy"
+	"repro/internal/strict"
+	"repro/internal/topo"
+)
+
+// NumPasses is the number of stages in the conversion pipeline.
+const NumPasses = 4
+
+// PassNames lists the pipeline stages in execution order; indexes match
+// Stats.PassNs and the obs per-pass counters.
+var PassNames = [NumPasses]string{"fake_link_insert", "trigger_assign", "batch_connect", "rop_insert"}
+
+// Stats are one batch's conversion counters, filled in by the passes.
+type Stats struct {
+	// Slots is the relative-schedule length.
+	Slots int
+	// RealEntries / FakeEntries split the slot entries by origin: scheduled
+	// by the strict scheduler vs inserted for trigger-chain cover.
+	RealEntries int
+	FakeEntries int
+	// Triggers counts every trigger assignment, backups and the boundary
+	// pair included; BackupTriggers counts assignments beyond each entry's
+	// first; BoundaryTriggers counts assignments wired across the batch
+	// boundary (retained slot → slot 0).
+	Triggers         int
+	BackupTriggers   int
+	BoundaryTriggers int
+	// Untriggered counts real entries left with no trigger path.
+	Untriggered int
+	// ROPSlots counts slots followed by a polling window; ROPShared counts
+	// APs that joined an already-inserted window; ROPForced counts APs
+	// force-placed on slot 0 because no slot could trigger them.
+	ROPSlots  int
+	ROPShared int
+	ROPForced int
+	// PollTriggers counts poll reference signatures planted in broadcasts.
+	PollTriggers int
+	// CacheHit marks a plan served from the conversion cache.
+	CacheHit bool
+	// PassNs is the wall-clock time each pass took, indexed like PassNames.
+	// Zero on cache hits. Wall time never feeds back into the simulation —
+	// it exists for the metrics registry and benchreport only.
+	PassNs [NumPasses]int64
+}
+
+// Plan carries one batch's conversion through the pass pipeline: the strict
+// input, the relative schedule under construction, and the counters each
+// pass fills in. Passes mutate the Plan in order; Verify checks the result.
+type Plan struct {
+	// Batch is the strict scheduler output being converted (input to
+	// FakeLinkInsert).
+	Batch strict.Schedule
+	// PollAPs lists the APs that must execute ROP during this batch.
+	PollAPs []phy.NodeID
+	// Slots is the relative schedule under construction.
+	Slots []RelSlot
+	// Prev is the retained last slot of the previous batch (nil on the
+	// first batch); BatchConnect wires its broadcasts to trigger slot 0.
+	Prev *RelSlot
+	// ForcedROP lists APs whose polling window was force-placed on slot 0
+	// without a compatibility check (the fallback when no slot can trigger
+	// the AP); Verify exempts these pairings from the AP-conflict invariant.
+	ForcedROP []phy.NodeID
+	Stats     Stats
+
+	// Conversion parameters frozen at ConvertPlan time, for Verify.
+	g                       *topo.ConflictGraph
+	maxInbound, maxOutbound int
+}
+
+// Pass is one typed stage of the conversion pipeline. Apply mutates the plan
+// in place; the converter supplies cross-batch state (retained slot, cover
+// rotation) and the conflict graph.
+type Pass interface {
+	Name() string
+	Apply(c *Converter, p *Plan)
+}
+
+// passes is the pipeline in execution order. TriggerAssign before
+// BatchConnect is equivalent to the historical interleaved order because
+// each consecutive-slot trigger pair touches disjoint state: a slot's
+// broadcasts are written only when it is the pair's first element, and its
+// entries' triggers only when it is the second.
+var passes = [NumPasses]Pass{FakeLinkInsert{}, TriggerAssign{}, BatchConnect{}, ROPInsert{}}
+
+// Passes returns the pipeline stages in execution order.
+func Passes() []Pass { return append([]Pass(nil), passes[:]...) }
+
+// ConvertPlan turns one strict batch into a relative schedule, returning the
+// full plan (slots, per-pass stats, verification inputs). When the
+// conversion cache is enabled and the converter's complete pre-conversion
+// state matches a previous batch, the cached result is replayed instead of
+// re-running the passes — bit-identical, including the broadcast rewrite of
+// the retained slot.
+func (c *Converter) ConvertPlan(batch strict.Schedule, pollAPs []phy.NodeID) *Plan {
+	if c.cache == nil {
+		return c.runPasses(batch, pollAPs)
+	}
+	key := c.cacheKey(batch, pollAPs)
+	if p, ok := c.cacheReplay(key, batch, pollAPs); ok {
+		return p
+	}
+	p := c.runPasses(batch, pollAPs)
+	c.cacheStore(key, p)
+	return p
+}
+
+// runPasses executes the pipeline on a fresh plan.
+func (c *Converter) runPasses(batch strict.Schedule, pollAPs []phy.NodeID) *Plan {
+	p := &Plan{
+		Batch: batch, PollAPs: pollAPs, Prev: c.prev,
+		g: c.G, maxInbound: c.MaxInbound, maxOutbound: c.MaxOutbound,
+	}
+	for i, pass := range passes {
+		start := time.Now()
+		pass.Apply(c, p)
+		p.Stats.PassNs[i] = time.Since(start).Nanoseconds()
+	}
+	c.Untriggered += p.Stats.Untriggered
+	if len(p.Slots) > 0 {
+		// Batch connection, retaining side: keep the last slot itself. Its
+		// Broadcasts are still empty — the next batch's conversion fills
+		// them in, and because the engine holds the same slot, the triggers
+		// become visible to it before the slot's end.
+		c.prev = &p.Slots[len(p.Slots)-1]
+	}
+	return p
+}

@@ -1,0 +1,214 @@
+package convert
+
+import (
+	"fmt"
+
+	"repro/internal/phy"
+	"repro/internal/topo"
+)
+
+// Verify checks the structural invariants of a converted plan:
+//
+//   - every slot's entries are mutually independent in the conflict graph;
+//   - every entry beyond the chain start carries 1..MaxInbound distinct
+//     triggers, or provably could not be triggered (every in-range endpoint
+//     of the previous slot has exhausted its outbound capacity);
+//   - every broadcast combines at most MaxOutbound signatures and comes from
+//     an endpoint active in its slot;
+//   - the trigger chain is connected, across the batch boundary included:
+//     each trigger rides in a broadcast of the preceding slot (the retained
+//     previous-batch slot for slot 0), and each broadcast target is either a
+//     sender of the following slot or a polling AP of the broadcasting slot;
+//   - APs sharing an ROP slot don't conflict, except placements the
+//     converter recorded as forced (Plan.ForcedROP).
+//
+// Call Verify immediately after ConvertPlan: converting the next batch
+// rewrites the last slot's broadcasts in place (batch connection), after
+// which the forward-target check no longer applies to this plan.
+func Verify(p *Plan) error {
+	if p.g == nil {
+		return fmt.Errorf("convert: Verify on a plan not produced by ConvertPlan")
+	}
+	g := p.g
+	forced := map[phy.NodeID]bool{}
+	for _, ap := range p.ForcedROP {
+		forced[ap] = true
+	}
+
+	for si := range p.Slots {
+		slot := &p.Slots[si]
+
+		// Slot independence (fake links included).
+		for a := 0; a < len(slot.Entries); a++ {
+			for b := a + 1; b < len(slot.Entries); b++ {
+				if g.Conflicts(slot.Entries[a].Link.ID, slot.Entries[b].Link.ID) {
+					return fmt.Errorf("slot %d: conflicting entries %v and %v",
+						si, slot.Entries[a].Link, slot.Entries[b].Link)
+				}
+			}
+		}
+
+		// Inbound triggers and chain connectivity.
+		prevSlot := p.Prev
+		if si > 0 {
+			prevSlot = &p.Slots[si-1]
+		}
+		for _, e := range slot.Entries {
+			if len(e.TriggeredBy) > p.maxInbound {
+				return fmt.Errorf("slot %d: %v has %d triggers (max %d)",
+					si, e.Link, len(e.TriggeredBy), p.maxInbound)
+			}
+			seen := map[phy.NodeID]bool{}
+			for _, tn := range e.TriggeredBy {
+				if seen[tn] {
+					return fmt.Errorf("slot %d: %v triggered twice by node %d", si, e.Link, tn)
+				}
+				seen[tn] = true
+			}
+			if len(e.TriggeredBy) == 0 {
+				if prevSlot == nil {
+					continue // chain start: the APs self-start slot 0
+				}
+				if n, ok := spareBroadcaster(g, prevSlot, e.Link.Sender, p.maxOutbound); ok {
+					return fmt.Errorf("slot %d: %v untriggered although node %d is in range with spare outbound capacity",
+						si, e.Link, n)
+				}
+				continue // provably untriggerable: the entry free-runs
+			}
+			for _, tn := range e.TriggeredBy {
+				if !broadcastsTo(prevSlot, tn, e.Link.Sender) {
+					return fmt.Errorf("slot %d: %v trigger from node %d has no matching broadcast in the preceding slot",
+						si, e.Link, tn)
+				}
+			}
+		}
+
+		// Outbound capacity, unique broadcasters, active-endpoint origin,
+		// and forward targets.
+		if err := verifyBroadcasts(p, si, slot, nextSenders(p, si)); err != nil {
+			return err
+		}
+
+		// ROP sharing compatibility.
+		for a := 0; a < len(slot.ROPAfter); a++ {
+			for b := a + 1; b < len(slot.ROPAfter); b++ {
+				pa, pb := slot.ROPAfter[a], slot.ROPAfter[b]
+				if forced[pa] || forced[pb] {
+					continue
+				}
+				if g.APConflict(pa, pb) {
+					return fmt.Errorf("slot %d: conflicting APs %d and %d share an ROP slot", si, pa, pb)
+				}
+			}
+		}
+	}
+
+	// The retained previous-batch slot: BatchConnect rewrote its broadcasts
+	// to trigger slot 0 (preserving its planted poll references).
+	if p.Prev != nil && len(p.Slots) > 0 {
+		senders := map[phy.NodeID]bool{}
+		for _, e := range p.Slots[0].Entries {
+			senders[e.Link.Sender] = true
+		}
+		if err := verifyBroadcasts(p, -1, p.Prev, senders); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nextSenders collects the transmitters of the slot following si (nil set
+// for the last slot: its broadcasts hold only poll references until the
+// next batch connects).
+func nextSenders(p *Plan, si int) map[phy.NodeID]bool {
+	if si+1 >= len(p.Slots) {
+		return nil
+	}
+	senders := map[phy.NodeID]bool{}
+	for _, e := range p.Slots[si+1].Entries {
+		senders[e.Link.Sender] = true
+	}
+	return senders
+}
+
+// verifyBroadcasts checks one slot's broadcast list: unique in-slot
+// broadcasters within outbound capacity, every target either a sender of
+// the following slot or a polling AP of this slot. si == -1 denotes the
+// retained previous-batch slot.
+func verifyBroadcasts(p *Plan, si int, slot *RelSlot, followingSenders map[phy.NodeID]bool) error {
+	label := fmt.Sprintf("slot %d", si)
+	if si == -1 {
+		label = "retained slot"
+	}
+	endpoints := map[phy.NodeID]bool{}
+	for _, e := range slot.Entries {
+		endpoints[e.Link.Sender] = true
+		endpoints[e.Link.Receiver] = true
+	}
+	polling := map[phy.NodeID]bool{}
+	for _, ap := range slot.ROPAfter {
+		polling[ap] = true
+	}
+	seenFrom := map[phy.NodeID]bool{}
+	for _, b := range slot.Broadcasts {
+		if seenFrom[b.From] {
+			return fmt.Errorf("%s: node %d broadcasts twice", label, b.From)
+		}
+		seenFrom[b.From] = true
+		if len(b.Targets) > p.maxOutbound {
+			return fmt.Errorf("%s: node %d combines %d signatures (max %d)",
+				label, b.From, len(b.Targets), p.maxOutbound)
+		}
+		if !endpoints[b.From] {
+			return fmt.Errorf("%s: broadcaster %d is not an endpoint of the slot", label, b.From)
+		}
+		for _, tgt := range b.Targets {
+			if !followingSenders[tgt] && !polling[tgt] {
+				return fmt.Errorf("%s: broadcast target %d is neither a next-slot sender nor a polling AP",
+					label, tgt)
+			}
+		}
+	}
+	return nil
+}
+
+// spareBroadcaster reports whether some endpoint of prevSlot could still
+// have triggered target: in signature range and with outbound capacity to
+// spare. Capacity only grows as assignment proceeds, so end-state spare
+// capacity proves the converter skipped an eligible broadcaster.
+func spareBroadcaster(g *topo.ConflictGraph, prevSlot *RelSlot, target phy.NodeID, maxOutbound int) (phy.NodeID, bool) {
+	load := map[phy.NodeID]int{}
+	for _, b := range prevSlot.Broadcasts {
+		load[b.From] += len(b.Targets)
+	}
+	for _, e := range prevSlot.Entries {
+		for _, n := range [2]phy.NodeID{e.Link.Sender, e.Link.Receiver} {
+			if n == target {
+				continue
+			}
+			if g.Net.RSS[n][target] < topo.TriggerFloorDBm {
+				continue
+			}
+			if load[n] < maxOutbound {
+				return n, true
+			}
+		}
+	}
+	return -1, false
+}
+
+// broadcastsTo reports whether node tn broadcasts a signature combination
+// containing sender at the end of slot prev.
+func broadcastsTo(prev *RelSlot, tn, sender phy.NodeID) bool {
+	for _, b := range prev.Broadcasts {
+		if b.From != tn {
+			continue
+		}
+		for _, t := range b.Targets {
+			if t == sender {
+				return true
+			}
+		}
+	}
+	return false
+}

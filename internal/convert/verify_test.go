@@ -1,0 +1,212 @@
+package convert
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/strict"
+	"repro/internal/topo"
+)
+
+func fig7Plan(t *testing.T, batches, slots int) (*Converter, *Plan) {
+	t.Helper()
+	net := topo.Figure7()
+	g := topo.NewConflictGraph(net, net.BuildLinks(true, true), phy.DefaultConfig(), phy.Rate12)
+	c := New(g)
+	var p *Plan
+	for i := 0; i < batches; i++ {
+		p = c.ConvertPlan(saturatedBatch(g, slots), net.APs)
+	}
+	return c, p
+}
+
+func TestVerifyCleanOnConvertedPlans(t *testing.T) {
+	net := topo.Figure7()
+	g := topo.NewConflictGraph(net, net.BuildLinks(true, true), phy.DefaultConfig(), phy.Rate12)
+	c := New(g)
+	for i := 0; i < 4; i++ {
+		p := c.ConvertPlan(saturatedBatch(g, 6), net.APs)
+		if err := Verify(p); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+}
+
+func TestVerifyRejectsForeignPlan(t *testing.T) {
+	if err := Verify(&Plan{}); err == nil {
+		t.Error("Verify accepted a plan without conversion context")
+	}
+}
+
+func wantVerifyError(t *testing.T, p *Plan, substr string) {
+	t.Helper()
+	err := Verify(p)
+	if err == nil {
+		t.Fatalf("Verify passed, want error containing %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("Verify error %q does not contain %q", err, substr)
+	}
+}
+
+func TestVerifyDetectsConflictingEntries(t *testing.T) {
+	c, p := fig7Plan(t, 1, 4)
+	// Plant the conflict partner of an existing entry into its slot.
+	g := c.G
+	slot := &p.Slots[1]
+	for id := range g.Links {
+		conflicts := false
+		for _, e := range slot.Entries {
+			if g.Conflicts(id, e.Link.ID) {
+				conflicts = true
+				break
+			}
+		}
+		if conflicts {
+			slot.Entries = append(slot.Entries, Entry{Link: g.Links[id], TriggeredBy: []phy.NodeID{slot.Entries[0].TriggeredBy[0]}})
+			break
+		}
+	}
+	wantVerifyError(t, p, "conflicting entries")
+}
+
+func TestVerifyDetectsOverInbound(t *testing.T) {
+	_, p := fig7Plan(t, 1, 4)
+	e := &p.Slots[1].Entries[0]
+	e.TriggeredBy = []phy.NodeID{10, 11, 12}
+	wantVerifyError(t, p, "triggers (max")
+}
+
+func TestVerifyDetectsDuplicateTrigger(t *testing.T) {
+	_, p := fig7Plan(t, 1, 4)
+	e := &p.Slots[1].Entries[0]
+	e.TriggeredBy = []phy.NodeID{e.TriggeredBy[0], e.TriggeredBy[0]}
+	wantVerifyError(t, p, "triggered twice")
+}
+
+func TestVerifyDetectsDroppedTrigger(t *testing.T) {
+	_, p := fig7Plan(t, 1, 4)
+	// Erasing an entry's triggers while its slot's predecessor still has
+	// spare broadcasters is a converter bug Verify must flag.
+	p.Slots[1].Entries[0].TriggeredBy = nil
+	wantVerifyError(t, p, "untriggered although")
+}
+
+func TestVerifyDetectsBrokenChain(t *testing.T) {
+	_, p := fig7Plan(t, 1, 4)
+	// Slot 1's triggers reference slot 0 broadcasts; drop those broadcasts.
+	p.Slots[0].Broadcasts = nil
+	wantVerifyError(t, p, "no matching broadcast")
+}
+
+func TestVerifyDetectsBoundaryBreak(t *testing.T) {
+	_, p := fig7Plan(t, 2, 4)
+	if p.Prev == nil {
+		t.Fatal("second batch has no retained slot")
+	}
+	// Slot 0 of a connected batch is triggered from the retained slot;
+	// wiping the retained broadcasts must break the cross-batch chain.
+	p.Prev.Broadcasts = nil
+	wantVerifyError(t, p, "no matching broadcast")
+}
+
+func TestVerifyDetectsOverOutbound(t *testing.T) {
+	c, p := fig7Plan(t, 1, 4)
+	slot := &p.Slots[0]
+	if len(slot.Broadcasts) == 0 {
+		t.Fatal("slot 0 has no broadcasts")
+	}
+	b := &slot.Broadcasts[0]
+	for len(b.Targets) <= c.MaxOutbound {
+		b.Targets = append(b.Targets, b.Targets[0])
+	}
+	wantVerifyError(t, p, "signatures (max")
+}
+
+func TestVerifyDetectsForeignBroadcaster(t *testing.T) {
+	_, p := fig7Plan(t, 1, 4)
+	slot := &p.Slots[0]
+	// A node not present in the slot cannot broadcast its end-of-slot
+	// signature combination.
+	var outsider phy.NodeID = -1
+	present := map[phy.NodeID]bool{}
+	for _, e := range slot.Entries {
+		present[e.Link.Sender], present[e.Link.Receiver] = true, true
+	}
+	for n := phy.NodeID(0); int(n) < len(p.g.Net.RSS); n++ {
+		if !present[n] {
+			outsider = n
+			break
+		}
+	}
+	if outsider == -1 {
+		t.Skip("every node participates in slot 0")
+	}
+	tgt := p.Slots[1].Entries[0].Link.Sender
+	slot.Broadcasts = append(slot.Broadcasts, Broadcast{From: outsider, Targets: []phy.NodeID{tgt}})
+	wantVerifyError(t, p, "not an endpoint")
+}
+
+func TestVerifyDetectsDanglingTarget(t *testing.T) {
+	_, p := fig7Plan(t, 1, 4)
+	slot := &p.Slots[0]
+	if len(slot.Broadcasts) == 0 {
+		t.Fatal("slot 0 has no broadcasts")
+	}
+	// Target a node that neither transmits in slot 1 nor polls after slot 0.
+	next := map[phy.NodeID]bool{}
+	for _, e := range p.Slots[1].Entries {
+		next[e.Link.Sender] = true
+	}
+	for _, ap := range slot.ROPAfter {
+		next[ap] = true
+	}
+	var dangling phy.NodeID = -1
+	for n := phy.NodeID(0); int(n) < len(p.g.Net.RSS); n++ {
+		if !next[n] {
+			dangling = n
+			break
+		}
+	}
+	if dangling == -1 {
+		t.Skip("every node is a valid target")
+	}
+	slot.Broadcasts[0].Targets[0] = dangling
+	wantVerifyError(t, p, "neither a next-slot sender nor a polling AP")
+}
+
+func TestVerifyDetectsROPConflict(t *testing.T) {
+	c, p := fig7Plan(t, 1, 6)
+	g := c.G
+	for si := range p.Slots {
+		rop := p.Slots[si].ROPAfter
+		if len(rop) == 0 {
+			continue
+		}
+		for _, ap := range p.g.Net.APs {
+			if g.APConflict(rop[0], ap) {
+				p.Slots[si].ROPAfter = append(rop, ap)
+				wantVerifyError(t, p, "share an ROP slot")
+				return
+			}
+		}
+	}
+	t.Skip("no conflicting AP pair available")
+}
+
+// TestVerifyCleanWithoutFakeCover: with fake-link insertion disabled the
+// chain legitimately dies wherever the strict slots can't reach; Verify must
+// accept the provably-untriggerable entries rather than demand triggers.
+func TestVerifyCleanWithoutFakeCover(t *testing.T) {
+	net := topo.Figure13b()
+	g := topo.NewConflictGraph(net, net.BuildLinks(true, false), phy.DefaultConfig(), phy.Rate12)
+	c := New(g)
+	c.DisableFakeCover = true
+	for i := 0; i < 3; i++ {
+		p := c.ConvertPlan(strict.Schedule{{0}, {1}, {2}, {3}}, net.APs)
+		if err := Verify(p); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+}

@@ -273,6 +273,11 @@ func RunScenario(s Scenario) (Result, error) {
 			o.WireObs(s.Tracer, orun.QueueSampler())
 		}
 	}
+	if s.Metrics != nil {
+		if mo, ok := engine.(scheme.MetricsObservable); ok {
+			mo.WireMetrics(s.Metrics)
+		}
+	}
 
 	// Typed result fields and scheme-specific hooks for the built-in
 	// engines; externally registered schemes simply skip this.

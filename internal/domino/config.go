@@ -57,10 +57,25 @@ type Config struct {
 	// Fig 15): DOMINO stays silent and external DCF traffic gets the
 	// channel; DOMINO's data frames carry a NAV to the end of each CFP.
 	CoPDuration sim.Time
+	// Scheduler selects the strict scheduling policy by registered name
+	// (internal/strict registry: RAND, LQF, RoundRobin, Weighted and their
+	// aliases, case-insensitive). Empty means the paper's RAND. The
+	// NewScheduler hook, when set, takes precedence.
+	Scheduler string
 	// NewScheduler builds the strict scheduler the server runs; nil means
-	// the paper's RAND. Any strict.Scheduler works — the converter is
-	// scheduler-agnostic (§3, contribution 1).
+	// the Scheduler name (or the paper's RAND when that is empty too). Any
+	// strict.Scheduler works — the converter is scheduler-agnostic (§3,
+	// contribution 1).
 	NewScheduler func(*topo.ConflictGraph) strict.Scheduler
+	// NoConvertCache disables the converter's conversion cache. The cache
+	// replays steady-state batch conversions bit-identically (keys cover the
+	// complete pre-conversion state), so it is on by default.
+	NoConvertCache bool
+	// ConvertTrace, when the engine has a trace sink, emits per-batch
+	// KindConvert records: deterministic pass counters, the cache outcome and
+	// trigger/signature histograms. Off by default so existing golden traces
+	// are byte-identical.
+	ConvertTrace bool
 	// SignatureChips selects the Gold-code length (127, 255* or 511; §5
 	// "Number of signatures"): longer codes support more nodes per collision
 	// domain at proportionally longer trigger air time. Zero means 127.

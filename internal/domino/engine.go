@@ -66,6 +66,9 @@ type Engine struct {
 	// records from DecodeObserved. The nil default costs one branch per
 	// trace call.
 	Obs obs.Tracer
+	// convMetrics holds the conversion-pipeline counters once WireMetrics
+	// installed a registry; nil means no metrics accounting at all.
+	convMetrics *convertMetrics
 
 	// Counters.
 	DataSends  int
@@ -243,6 +246,12 @@ func (e *Engine) QueueLen(link int) int { return e.queues[link].Len() }
 // Slots exposes how many global slots have been scheduled so far.
 func (e *Engine) Slots() int { return len(e.slots) }
 
+// ConvertCacheStats reports the conversion cache's hits and misses (zeros
+// when Config.NoConvertCache disabled it).
+func (e *Engine) ConvertCacheStats() (hits, misses int64) {
+	return e.server.conv.CacheStats()
+}
+
 // DebugScheduleStats summarises the built schedule: total entries, slots,
 // ROP boundaries and entries without triggers (tests and diagnostics).
 func (e *Engine) DebugScheduleStats() (entries, slots, ropSlots, untriggered int) {
@@ -377,10 +386,20 @@ func newServer(e *Engine) *server {
 		conv.MaxInbound = e.cfg.MaxInbound
 	}
 	conv.DisableFakeCover = e.cfg.NoFakeCover
+	if !e.cfg.NoConvertCache {
+		conv.EnableCache(0)
+	}
 	var sched strict.Scheduler
-	if e.cfg.NewScheduler != nil {
+	switch {
+	case e.cfg.NewScheduler != nil:
 		sched = e.cfg.NewScheduler(e.g)
-	} else {
+	case e.cfg.Scheduler != "":
+		s, err := strict.BuildScheduler(e.cfg.Scheduler, e.g)
+		if err != nil {
+			panic(fmt.Sprintf("domino: %v", err))
+		}
+		sched = s
+	default:
 		sched = strict.NewRAND(e.g)
 	}
 	return &server{
@@ -459,12 +478,12 @@ func (s *server) buildAndDispatch() {
 	if e.cfg.Piggyback {
 		pollAPs = nil // no ROP slots: queue state arrives only by piggyback
 	}
-	rs := s.conv.Convert(batch, pollAPs)
+	plan := s.conv.ConvertPlan(batch, pollAPs)
 
 	first := len(e.slots)
 	ropSlots := 0
-	for i := range rs.Slots {
-		e.slots = append(e.slots, &rs.Slots[i])
+	for i := range plan.Slots {
+		e.slots = append(e.slots, &plan.Slots[i])
 		var last sim.Time
 		if n := len(e.slotOffset); n > 0 {
 			last = e.slotOffset[n-1] + e.cfg.slotDuration()
@@ -476,7 +495,7 @@ func (s *server) buildAndDispatch() {
 			}
 		}
 		e.slotOffset = append(e.slotOffset, last)
-		if len(rs.Slots[i].ROPAfter) > 0 {
+		if len(plan.Slots[i].ROPAfter) > 0 {
 			ropSlots++
 		}
 	}
@@ -484,6 +503,7 @@ func (s *server) buildAndDispatch() {
 	for i := first; i < newKnown; i++ {
 		e.batchEnd = append(e.batchEnd, newKnown-1)
 	}
+	e.noteConvert(plan, first)
 
 	// Wired dispatch with jitter.
 	for _, apID := range e.net.APs {
@@ -501,7 +521,7 @@ func (s *server) buildAndDispatch() {
 	// noteProgress, but if every chain stalls (or the tail of this batch has
 	// no executable entries) the server must still move forward.
 	snapshot := len(e.slots)
-	nominal := sim.Time(len(rs.Slots))*e.cfg.slotDuration() +
+	nominal := sim.Time(len(plan.Slots))*e.cfg.slotDuration() +
 		sim.Time(ropSlots)*e.cfg.ropSlotDuration()
 	e.k.After(2*nominal+10*e.cfg.slotDuration(), func() {
 		if len(e.slots) == snapshot && !e.buildPending {

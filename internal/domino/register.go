@@ -2,10 +2,12 @@ package domino
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/mac"
 	"repro/internal/obs"
 	"repro/internal/scheme"
+	"repro/internal/strict"
 )
 
 // WireObs implements scheme.Observable: the run pipeline hands the engine
@@ -33,6 +35,14 @@ func init() {
 			c, ok := cfg.(*Config)
 			if !ok {
 				return nil, fmt.Errorf("domino: Build got config %T, want *domino.Config", cfg)
+			}
+			// Pre-validate the scheduler name so declarative specs get an
+			// error instead of newServer's panic.
+			if c.NewScheduler == nil && c.Scheduler != "" {
+				if _, ok := strict.LookupScheduler(c.Scheduler); !ok {
+					return nil, fmt.Errorf("domino: unknown scheduler %q (registered: %s)",
+						c.Scheduler, strings.Join(strict.SchedulerNames(), ", "))
+				}
 			}
 			return New(ctx.Kernel, ctx.Medium, ctx.Graph, ctx.Events, *c), nil
 		},

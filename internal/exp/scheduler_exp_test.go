@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSchedulerSweep(t *testing.T) {
+	o := Options{Seed: 1, Duration: 600 * sim.Millisecond, Warmup: 100 * sim.Millisecond}
+	r, err := SchedulerSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Schedulers) < 4 {
+		t.Fatalf("schedulers = %v, want the full registry (>= 4)", r.Schedulers)
+	}
+	for i, name := range r.Schedulers {
+		if r.ThroughputMbps[i] < 5 {
+			t.Errorf("%s: %.2f Mbps, want a live chain", name, r.ThroughputMbps[i])
+		}
+		if r.Fairness[i] <= 0 || r.Fairness[i] > 1.0001 {
+			t.Errorf("%s: Jain fairness %.3f out of range", name, r.Fairness[i])
+		}
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if err := r.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range r.Schedulers {
+		if !strings.Contains(out, name) {
+			t.Errorf("output missing scheduler %s", name)
+		}
+	}
+	if !strings.Contains(out, "scheduler,throughput_mbps,fairness,delay_us,self_starts") {
+		t.Error("CSV header missing")
+	}
+}

@@ -77,6 +77,13 @@ type Observable interface {
 	WireObs(t obs.Tracer, queueSampler func(link, depth int))
 }
 
+// MetricsObservable is implemented by engines that feed the per-run metrics
+// registry (counters/gauges/histograms beyond what the generic probes see).
+// The run pipeline wires it whenever the scenario carries a registry.
+type MetricsObservable interface {
+	WireMetrics(m *obs.Metrics)
+}
+
 var (
 	mu       sync.RWMutex
 	registry = map[string]*Descriptor{}

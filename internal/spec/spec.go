@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/phy"
 	"repro/internal/scheme"
+	"repro/internal/strict"
 )
 
 // Spec fully describes one simulation run.
@@ -194,6 +195,36 @@ func (s Spec) Validate() error {
 		var probe map[string]any
 		if err := json.Unmarshal(s.SchemeConfig, &probe); err != nil {
 			return fmt.Errorf("spec: scheme_config must be a JSON object: %v", err)
+		}
+		if err := s.validateScheduler(probe); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateScheduler checks a DOMINO scheme_config's scheduler name against
+// the strict registry up front, so a typo fails at Validate instead of deep
+// inside the engine build.
+func (s Spec) validateScheduler(probe map[string]any) error {
+	d, ok := scheme.Lookup(s.Scheme)
+	if !ok || d.Name != "DOMINO" {
+		return nil
+	}
+	for k, v := range probe {
+		if !strings.EqualFold(k, "scheduler") {
+			continue
+		}
+		name, ok := v.(string)
+		if !ok {
+			return fmt.Errorf("spec: scheme_config.scheduler must be a string, got %T", v)
+		}
+		if name == "" {
+			continue
+		}
+		if _, ok := strict.LookupScheduler(name); !ok {
+			return fmt.Errorf("spec: unknown scheduler %q (registered: %s)",
+				name, strings.Join(strict.SchedulerNames(), ", "))
 		}
 	}
 	return nil

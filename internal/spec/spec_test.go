@@ -146,6 +146,25 @@ func TestValidateCatalog(t *testing.T) {
 			s.Traffic = spec.Traffic{Kind: "tcp", DownMbps: 5}
 		}, "both directions"},
 		{"scheme_config not object", func(s *spec.Spec) { s.SchemeConfig = json.RawMessage(`[1,2]`) }, "JSON object"},
+		{"domino scheduler ok", func(s *spec.Spec) {
+			s.Scheme = "domino"
+			s.SchemeConfig = json.RawMessage(`{"scheduler": "lqf"}`)
+		}, ""},
+		{"domino scheduler alias ok", func(s *spec.Spec) {
+			s.Scheme = "domino"
+			s.SchemeConfig = json.RawMessage(`{"Scheduler": "pf"}`)
+		}, ""},
+		{"domino unknown scheduler", func(s *spec.Spec) {
+			s.Scheme = "domino"
+			s.SchemeConfig = json.RawMessage(`{"scheduler": "sjf"}`)
+		}, "unknown scheduler"},
+		{"domino scheduler wrong type", func(s *spec.Spec) {
+			s.Scheme = "domino"
+			s.SchemeConfig = json.RawMessage(`{"scheduler": 3}`)
+		}, "must be a string"},
+		{"non-domino scheduler key not checked", func(s *spec.Spec) {
+			s.SchemeConfig = json.RawMessage(`{"scheduler": "sjf"}`)
+		}, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

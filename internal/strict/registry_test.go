@@ -1,0 +1,88 @@
+package strict
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func TestSchedulerRegistryBuiltins(t *testing.T) {
+	for _, name := range []string{"RAND", "rand", "LQF", "lqf", "RoundRobin", "rr", "Weighted", "pf", "proportional-fair"} {
+		d, ok := LookupScheduler(name)
+		if !ok {
+			t.Fatalf("LookupScheduler(%q) missing", name)
+		}
+		if d.Name == "" || d.Build == nil {
+			t.Fatalf("LookupScheduler(%q) = incomplete descriptor %+v", name, d)
+		}
+	}
+	names := SchedulerNames()
+	want := []string{"LQF", "RAND", "RoundRobin", "Weighted"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("SchedulerNames() = %v, want %v", names, want)
+	}
+}
+
+func TestBuildSchedulerByName(t *testing.T) {
+	g := graphFor(t, topo.Figure7(), true, true)
+	for _, name := range SchedulerNames() {
+		s, err := BuildScheduler(name, g)
+		if err != nil {
+			t.Fatalf("BuildScheduler(%q): %v", name, err)
+		}
+		// Every policy must build a working scheduler: one saturated slot.
+		slot := s.NextSlot(func(int) int { return 1 })
+		if len(slot) == 0 {
+			t.Errorf("%s: saturated network produced empty slot", name)
+		}
+		for a := 0; a < len(slot); a++ {
+			for b := a + 1; b < len(slot); b++ {
+				if g.Conflicts(slot[a], slot[b]) {
+					t.Errorf("%s: slot %v conflicts", name, slot)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildSchedulerUnknown(t *testing.T) {
+	g := graphFor(t, topo.Figure7(), true, false)
+	_, err := BuildScheduler("nope", g)
+	if err == nil {
+		t.Fatal("BuildScheduler(nope) succeeded")
+	}
+	if !strings.Contains(err.Error(), "RAND") {
+		t.Errorf("error %q should list registered names", err)
+	}
+}
+
+func TestRegisterSchedulerConflictsAndUnregister(t *testing.T) {
+	d := SchedulerDescriptor{
+		Name:    "Toy",
+		Aliases: []string{"toy2"},
+		Build:   func(g *topo.ConflictGraph, _ any) (Scheduler, error) { return NewRAND(g), nil },
+	}
+	if err := RegisterScheduler(d); err != nil {
+		t.Fatal(err)
+	}
+	defer UnregisterScheduler("Toy")
+	if err := RegisterScheduler(SchedulerDescriptor{Name: "toy2", Build: d.Build}); err == nil {
+		t.Error("duplicate alias registration succeeded")
+	}
+	if err := RegisterScheduler(SchedulerDescriptor{Name: "Toy3"}); err == nil {
+		t.Error("registration without Build succeeded")
+	}
+	if err := RegisterScheduler(SchedulerDescriptor{}); err == nil {
+		t.Error("registration with empty name succeeded")
+	}
+	UnregisterScheduler("Toy")
+	if _, ok := LookupScheduler("toy2"); ok {
+		t.Error("alias survived UnregisterScheduler")
+	}
+	for _, n := range SchedulerNames() {
+		if n == "Toy" {
+			t.Error("canonical name survived UnregisterScheduler")
+		}
+	}
+}

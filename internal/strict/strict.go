@@ -94,10 +94,16 @@ func (r *RAND) NextSlot(backlog func(link int) int) Slot {
 // central server's planning step between pollings. Scheduling stops early
 // when the estimates drain.
 func (r *RAND) Batch(est []int, maxSlots int) Schedule {
+	return batchOf(r, est, maxSlots)
+}
+
+// batchOf drains a copy of est through s.NextSlot for up to maxSlots slots —
+// the shared Batch body of every registered policy.
+func batchOf(s Scheduler, est []int, maxSlots int) Schedule {
 	remaining := append([]int(nil), est...)
 	var out Schedule
 	for len(out) < maxSlots {
-		slot := r.NextSlot(func(id int) int { return remaining[id] })
+		slot := s.NextSlot(func(id int) int { return remaining[id] })
 		if slot == nil {
 			break
 		}
@@ -160,19 +166,7 @@ func (l *LQF) NextSlot(backlog func(link int) int) Slot {
 
 // Batch implements Scheduler.
 func (l *LQF) Batch(est []int, maxSlots int) Schedule {
-	remaining := append([]int(nil), est...)
-	var out Schedule
-	for len(out) < maxSlots {
-		slot := l.NextSlot(func(id int) int { return remaining[id] })
-		if slot == nil {
-			break
-		}
-		for _, id := range slot {
-			remaining[id]--
-		}
-		out = append(out, slot)
-	}
-	return out
+	return batchOf(l, est, maxSlots)
 }
 
 // Order exposes the current rotation for tests.

@@ -1,0 +1,108 @@
+package strict
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topo"
+)
+
+// WeightedConfig parameterises the proportional-fair scheduler.
+type WeightedConfig struct {
+	// Decay multiplies each link's service history once per slot, so past
+	// service fades geometrically. 0 remembers only the previous slot;
+	// values near 1 remember service for a long time.
+	Decay float64
+}
+
+// DefaultWeightedConfig remembers roughly the last ten slots of service.
+func DefaultWeightedConfig() WeightedConfig { return WeightedConfig{Decay: 0.9} }
+
+// Weighted is a proportional-fair-flavoured scheduler: each slot is built
+// greedily in descending order of priority backlog(id) / (1 + service(id)),
+// where service is an exponentially-decayed count of slots the link was
+// scheduled in. Backlogged links that have been served a lot rank below
+// backlogged links that have not — the classic PF trade of instantaneous
+// demand against service history. Ties break by higher backlog, then lower
+// link ID, so schedules are deterministic.
+type Weighted struct {
+	g       *topo.ConflictGraph
+	cfg     WeightedConfig
+	service []float64
+}
+
+// NewWeighted builds the scheduler over a conflict graph.
+func NewWeighted(g *topo.ConflictGraph, cfg WeightedConfig) *Weighted {
+	return &Weighted{g: g, cfg: cfg, service: make([]float64, len(g.Links))}
+}
+
+// NextSlot implements Scheduler.
+func (w *Weighted) NextSlot(backlog func(link int) int) Slot {
+	type cand struct {
+		id   int
+		q    int
+		prio float64
+	}
+	var cands []cand
+	for id := range w.g.Links {
+		if q := backlog(id); q > 0 {
+			cands = append(cands, cand{id, q, float64(q) / (1 + w.service[id])})
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].prio != cands[b].prio {
+			return cands[a].prio > cands[b].prio
+		}
+		if cands[a].q != cands[b].q {
+			return cands[a].q > cands[b].q
+		}
+		return cands[a].id < cands[b].id
+	})
+	var slot Slot
+	for _, c := range cands {
+		ok := true
+		for _, s := range slot {
+			if w.g.Conflicts(c.id, s) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			slot = append(slot, c.id)
+		}
+	}
+	for i := range w.service {
+		w.service[i] *= w.cfg.Decay
+	}
+	for _, id := range slot {
+		w.service[id]++
+	}
+	return slot
+}
+
+// Batch implements Scheduler.
+func (w *Weighted) Batch(est []int, maxSlots int) Schedule {
+	return batchOf(w, est, maxSlots)
+}
+
+func init() {
+	MustRegisterScheduler(SchedulerDescriptor{
+		Name:    "Weighted",
+		Aliases: []string{"pf", "proportional-fair"},
+		Summary: "proportional-fair: backlog over decayed service history",
+		DefaultConfig: func() any {
+			cfg := DefaultWeightedConfig()
+			return &cfg
+		},
+		Build: func(g *topo.ConflictGraph, cfg any) (Scheduler, error) {
+			c, ok := cfg.(*WeightedConfig)
+			if !ok {
+				return nil, fmt.Errorf("strict: Weighted Build got config %T, want *strict.WeightedConfig", cfg)
+			}
+			return NewWeighted(g, *c), nil
+		},
+	})
+}

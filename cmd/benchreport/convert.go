@@ -1,11 +1,18 @@
 package main
 
-// The -convert mode measures the schedule-conversion pipeline and its batch
-// cache on a steady-state Fig 14 workload: every feasible T(20,3) placement
-// runs twice — cache enabled (the default) and disabled — with the NDJSON
-// trace of each pair asserted byte-identical before any timing is reported.
-// The headline numbers are the amortized conversion cost per dispatched batch
-// on each side and the cache hit rate.
+// The -convert mode measures the schedule-conversion pipeline, its batch
+// cache and its incremental re-conversion layer on a steady-state Fig 14
+// workload: every feasible T(20,3) placement runs four times — {cache
+// on/off} × {incremental on/off} — with the NDJSON traces of all four modes
+// asserted byte-identical before any timing is reported. The headline
+// numbers are the amortized conversion cost per dispatched batch in each
+// mode (per-pass ns/batch included) and the cache hit rate.
+//
+// A separate steady-state probe runs the Fig 7 saturated workload at
+// duration D and 2D and differences the two counter sets: the second half
+// of the 2D run is pure steady state, so (hits₂−hits₁)/(batches₂−batches₁)
+// is the cache hit rate with the cold start excluded. The -min-steady-hit
+// and -max-convert-ns flags turn the headline numbers into CI gates.
 
 import (
 	"bytes"
@@ -26,46 +33,78 @@ import (
 	"repro/internal/topo"
 )
 
-// convertSide aggregates the conversion metrics of all runs on one cache
-// setting.
+// convertSide aggregates the conversion metrics of all runs in one mode.
 type convertSide struct {
 	Batches     int64 `json:"batches"`
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
 	// HitRatePct is CacheHits over Batches; the steady-state reuse the cache
-	// actually achieves on this workload.
+	// actually achieves on this workload (cold starts included — see the
+	// steady probe for the warmed-up rate).
 	HitRatePct float64 `json:"hit_rate_pct"`
+	// ExactHits vs CanonicalHits split the hits: canonical-only hits are
+	// ones the old exact-state key would have missed.
+	ExactHits     int64 `json:"cache_hits_exact"`
+	CanonicalHits int64 `json:"cache_hits_canonical"`
+	Evictions     int64 `json:"cache_evictions"`
+	// CoverReuse / PairReuse count the incremental layer's memo replays;
+	// IncrementalPairPct is PairReuse over all in-batch slot pairs
+	// (slots − batches), the fraction of TriggerAssign work skipped.
+	CoverReuse         int64   `json:"inc_cover_reuse"`
+	PairReuse          int64   `json:"inc_pair_reuse"`
+	IncrementalPairPct float64 `json:"inc_pair_pct"`
 	// PassNs records the wall-clock nanoseconds each pipeline pass spent,
-	// summed over all runs. Cache hits skip the passes entirely, so the
-	// cached side only pays these on misses.
-	PassNs map[string]int64 `json:"pass_ns"`
+	// summed over all runs; PassNsPerBatch normalizes by the batch count so
+	// runs of different lengths are comparable. Cache hits skip the passes
+	// entirely, so cached modes only pay these on misses.
+	PassNs         map[string]int64   `json:"pass_ns"`
+	PassNsPerBatch map[string]float64 `json:"pass_ns_per_batch"`
 	// NsPerBatch is total pass time amortized over every dispatched batch —
 	// the effective conversion cost the engine pays per batch.
 	NsPerBatch float64 `json:"ns_per_batch"`
+
+	slots int64
+}
+
+// steadyProbe is the warmed-up cache hit rate on the Fig 7 saturated
+// workload, cold start excluded by differencing a D and a 2D run.
+type steadyProbe struct {
+	Workload string  `json:"workload"`
+	Batches  int64   `json:"batches_window"`
+	Hits     int64   `json:"hits_window"`
+	HitPct   float64 `json:"hit_rate_pct"`
 }
 
 type convertReport struct {
+	// GoMaxProcs / NumCPU identify the machine shape; single-run wall-clock
+	// numbers are only comparable between runs that agree on them.
 	GoMaxProcs int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"num_cpu"`
 	Runs       int    `json:"runs"`
 	Skipped    int    `json:"skipped"`
 	Duration   string `json:"duration"`
 
-	Cached   convertSide `json:"cached"`
-	Uncached convertSide `json:"uncached"`
-	// SpeedupPerBatch is uncached over cached ns/batch: how much cheaper the
-	// amortized conversion is with the batch cache on.
+	// Full is the engine default (cache + incremental); Baseline has both
+	// off. The two partial modes isolate each layer's contribution.
+	Full      convertSide `json:"full"`
+	CacheOnly convertSide `json:"cache_only"`
+	IncOnly   convertSide `json:"incremental_only"`
+	Baseline  convertSide `json:"baseline"`
+	// SpeedupPerBatch is baseline over full ns/batch: how much cheaper the
+	// amortized conversion is with both layers on.
 	SpeedupPerBatch float64 `json:"speedup_per_batch"`
+	// Steady is the warmed-up hit rate probe (Fig 7 saturated).
+	Steady steadyProbe `json:"steady"`
 	// OutputIdentical is the differential gate: every placement's NDJSON
 	// trace and aggregate throughput matched byte for byte / digit for digit
-	// across the two cache settings. False exits non-zero.
+	// across all four modes. False exits non-zero.
 	OutputIdentical bool `json:"output_identical"`
 }
 
-// runConvertSide runs one fig14-style DOMINO placement with the given cache
-// setting, accumulating conversion metrics into side and returning the NDJSON
-// trace and aggregate throughput for the differential gate.
-func runConvertSide(side *convertSide, seed int64, duration time.Duration, noCache bool) ([]byte, float64, error) {
+// runConvertSide runs one fig14-style DOMINO placement in the given mode,
+// accumulating conversion metrics into side and returning the NDJSON trace
+// and aggregate throughput for the differential gate.
+func runConvertSide(side *convertSide, seed int64, duration time.Duration, noCache, noInc bool) ([]byte, float64, error) {
 	// Rebuild the network from the trace each time: a topo.Network carries
 	// per-run queue state and cannot be shared between runs.
 	tr := topo.RandomTrace(seed, 110, 800)
@@ -83,7 +122,10 @@ func runConvertSide(side *convertSide, seed int64, duration time.Duration, noCac
 		Warmup:  300 * sim.Millisecond,
 		Traffic: core.UDPCBR, DownMbps: 10, UpMbps: 10,
 		Tracer: nd, Metrics: m,
-		TuneDomino: func(c *domino.Config) { c.NoConvertCache = noCache },
+		TuneDomino: func(c *domino.Config) {
+			c.NoConvertCache = noCache
+			c.NoIncremental = noInc
+		},
 	})
 	if err != nil {
 		return nil, 0, err
@@ -99,6 +141,12 @@ func runConvertSide(side *convertSide, seed int64, duration time.Duration, noCac
 	side.Batches += counter("convert.batches")
 	side.CacheHits += counter("convert.cache.hits")
 	side.CacheMisses += counter("convert.cache.misses")
+	side.ExactHits += counter("convert.cache.hits.exact")
+	side.CanonicalHits += counter("convert.cache.hits.canonical")
+	side.Evictions += counter("convert.cache.evictions")
+	side.CoverReuse += counter("convert.inc.cover_reuse")
+	side.PairReuse += counter("convert.inc.pair_reuse")
+	side.slots += counter("convert.slots")
 	for _, name := range convert.PassNames {
 		side.PassNs[name] += counter("convert.pass." + name + ".ns")
 	}
@@ -106,61 +154,154 @@ func runConvertSide(side *convertSide, seed int64, duration time.Duration, noCac
 }
 
 func (s *convertSide) finish() {
-	if s.Batches > 0 {
-		s.HitRatePct = 100 * float64(s.CacheHits) / float64(s.Batches)
-		total := int64(0)
-		for _, ns := range s.PassNs {
-			total += ns
-		}
-		s.NsPerBatch = float64(total) / float64(s.Batches)
+	if s.Batches == 0 {
+		return
+	}
+	s.HitRatePct = 100 * float64(s.CacheHits) / float64(s.Batches)
+	total := int64(0)
+	for name, ns := range s.PassNs {
+		total += ns
+		s.PassNsPerBatch[name] = float64(ns) / float64(s.Batches)
+	}
+	s.NsPerBatch = float64(total) / float64(s.Batches)
+	if pairs := s.slots - s.Batches; pairs > 0 {
+		s.IncrementalPairPct = 100 * float64(s.PairReuse) / float64(pairs)
 	}
 }
 
-func convertReportMain(out string, runs int, duration time.Duration, seed int64) {
+// runSteadyCounters runs the Fig 7 saturated workload for the given duration
+// with the default conversion settings and returns the cumulative batch and
+// cache-hit counters.
+func runSteadyCounters(duration time.Duration, seed int64) (batches, hits int64, err error) {
+	m := obs.NewMetrics()
+	_, err = core.RunScenario(core.Scenario{
+		Net: topo.Figure7(), Downlink: true, Uplink: true, Scheme: core.DOMINO,
+		Seed: seed, Duration: sim.Time(duration.Nanoseconds()),
+		Warmup:  300 * sim.Millisecond,
+		Traffic: core.Saturated,
+		Metrics: m,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	snap := m.Snapshot()
+	counter := func(name string) int64 {
+		mv, _ := snap.Get(name)
+		return int64(mv.Value)
+	}
+	return counter("convert.batches"), counter("convert.cache.hits"), nil
+}
+
+func newConvertSide() convertSide {
+	return convertSide{PassNs: map[string]int64{}, PassNsPerBatch: map[string]float64{}}
+}
+
+func convertReportMain(out string, runs int, duration time.Duration, seed int64, minSteadyHit, maxNsPerBatch float64) {
 	rep := convertReport{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Runs:       runs,
 		Duration:   duration.String(),
-		Cached:     convertSide{PassNs: map[string]int64{}},
-		Uncached:   convertSide{PassNs: map[string]int64{}},
+		Full:       newConvertSide(),
+		CacheOnly:  newConvertSide(),
+		IncOnly:    newConvertSide(),
+		Baseline:   newConvertSide(),
 	}
 
-	fmt.Fprintf(os.Stderr, "convert: %d fig14 placements x %v, cache on/off...\n", runs, duration)
+	// mode order: full, cache-only, incremental-only, baseline.
+	modes := []struct {
+		side           *convertSide
+		noCache, noInc bool
+		name           string
+	}{
+		{&rep.Full, false, false, "full"},
+		{&rep.CacheOnly, false, true, "cache_only"},
+		{&rep.IncOnly, true, false, "incremental_only"},
+		{&rep.Baseline, true, true, "baseline"},
+	}
+
+	fmt.Fprintf(os.Stderr, "convert: %d fig14 placements x %v, {cache,incremental} on/off...\n", runs, duration)
 	rep.OutputIdentical = true
 	for run := 0; run < runs; run++ {
 		runSeed := parallel.Seed(seed, run, parallel.DefaultStride)
-		cachedTrace, cachedAgg, err := runConvertSide(&rep.Cached, runSeed, duration, false)
-		if err != nil {
-			// Infeasible placement (BuildT rejects some traces), same as the
-			// Fig 14 driver skips it.
-			rep.Skipped++
-			continue
+		var refTrace []byte
+		var refAgg float64
+		feasible := true
+		for mi, mode := range modes {
+			trace, agg, err := runConvertSide(mode.side, runSeed, duration, mode.noCache, mode.noInc)
+			if err != nil {
+				if mi == 0 {
+					// Infeasible placement (BuildT rejects some traces), same
+					// as the Fig 14 driver skips it.
+					rep.Skipped++
+					feasible = false
+					break
+				}
+				fmt.Fprintf(os.Stderr, "benchreport: convert run %d: %s run failed after %s succeeded: %v\n",
+					run, mode.name, modes[0].name, err)
+				os.Exit(1)
+			}
+			if mi == 0 {
+				refTrace, refAgg = trace, agg
+				continue
+			}
+			if !bytes.Equal(refTrace, trace) {
+				fmt.Fprintf(os.Stderr, "FAIL: run %d (seed %d): trace differs between full (%d bytes) and %s (%d bytes)\n",
+					run, runSeed, len(refTrace), mode.name, len(trace))
+				rep.OutputIdentical = false
+			}
+			if refAgg != agg {
+				fmt.Fprintf(os.Stderr, "FAIL: run %d (seed %d): aggregate %.9f Mbps full vs %.9f %s\n",
+					run, runSeed, refAgg, agg, mode.name)
+				rep.OutputIdentical = false
+			}
 		}
-		uncachedTrace, uncachedAgg, err := runConvertSide(&rep.Uncached, runSeed, duration, true)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchreport: convert run %d: cache-off run failed after cache-on succeeded: %v\n", run, err)
-			os.Exit(1)
-		}
-		if !bytes.Equal(cachedTrace, uncachedTrace) {
-			fmt.Fprintf(os.Stderr, "FAIL: run %d (seed %d): trace differs with cache on (%d bytes) vs off (%d bytes)\n",
-				run, runSeed, len(cachedTrace), len(uncachedTrace))
-			rep.OutputIdentical = false
-		}
-		if cachedAgg != uncachedAgg {
-			fmt.Fprintf(os.Stderr, "FAIL: run %d (seed %d): aggregate %.9f Mbps cached vs %.9f uncached\n",
-				run, runSeed, cachedAgg, uncachedAgg)
-			rep.OutputIdentical = false
-		}
+		_ = feasible
 	}
 	if rep.Skipped == runs {
 		fmt.Fprintln(os.Stderr, "benchreport: convert: every placement was infeasible")
 		os.Exit(1)
 	}
-	rep.Cached.finish()
-	rep.Uncached.finish()
-	if rep.Cached.NsPerBatch > 0 {
-		rep.SpeedupPerBatch = rep.Uncached.NsPerBatch / rep.Cached.NsPerBatch
+	for _, mode := range modes {
+		mode.side.finish()
+	}
+	if rep.Full.NsPerBatch > 0 {
+		rep.SpeedupPerBatch = rep.Baseline.NsPerBatch / rep.Full.NsPerBatch
+	}
+
+	// Steady-state probe: Fig 7 saturated at D and 2D; the difference is the
+	// warmed-up window.
+	fmt.Fprintf(os.Stderr, "convert: steady-state probe (fig7 saturated, %v and %v)...\n", duration, 2*duration)
+	b1, h1, err := runSteadyCounters(duration, seed)
+	if err == nil {
+		var b2, h2 int64
+		b2, h2, err = runSteadyCounters(2*duration, seed)
+		if err == nil {
+			rep.Steady = steadyProbe{
+				Workload: "fig7_saturated",
+				Batches:  b2 - b1,
+				Hits:     h2 - h1,
+			}
+			if rep.Steady.Batches > 0 {
+				rep.Steady.HitPct = 100 * float64(rep.Steady.Hits) / float64(rep.Steady.Batches)
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: convert steady probe: %v\n", err)
+		os.Exit(1)
+	}
+
+	fail := !rep.OutputIdentical
+	if minSteadyHit > 0 && rep.Steady.HitPct < minSteadyHit {
+		fmt.Fprintf(os.Stderr, "FAIL: steady-state hit rate %.1f%% below the %.0f%% gate\n",
+			rep.Steady.HitPct, minSteadyHit)
+		fail = true
+	}
+	if maxNsPerBatch > 0 && rep.Full.NsPerBatch > maxNsPerBatch {
+		fmt.Fprintf(os.Stderr, "FAIL: %.0f ns/batch over the %.0f ns budget\n",
+			rep.Full.NsPerBatch, maxNsPerBatch)
+		fail = true
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -172,10 +313,11 @@ func convertReportMain(out string, runs int, duration time.Duration, seed int64)
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: convert %.0f ns/batch cached (hit rate %.0f%%) vs %.0f uncached (%.1fx), outputs identical=%v\n",
-		out, rep.Cached.NsPerBatch, rep.Cached.HitRatePct,
-		rep.Uncached.NsPerBatch, rep.SpeedupPerBatch, rep.OutputIdentical)
-	if !rep.OutputIdentical {
+	fmt.Printf("wrote %s [gomaxprocs=%d num_cpu=%d]: %.0f ns/batch full (hit %.0f%%, steady %.0f%%, pair reuse %.0f%%) vs %.0f baseline (%.1fx), outputs identical=%v\n",
+		out, rep.GoMaxProcs, rep.NumCPU,
+		rep.Full.NsPerBatch, rep.Full.HitRatePct, rep.Steady.HitPct, rep.Full.IncrementalPairPct,
+		rep.Baseline.NsPerBatch, rep.SpeedupPerBatch, rep.OutputIdentical)
+	if fail {
 		os.Exit(1)
 	}
 }

@@ -85,6 +85,9 @@ func main() {
 		convertMode = flag.Bool("convert", false, "measure the schedule-conversion pipeline and batch cache instead, writes BENCH_convert.json")
 		strict      = flag.Bool("strict", false, "with -obs: exit 1 when the disabled path regresses >2% vs the baseline")
 		baseline    = flag.String("baseline", "BENCH_parallel.json", "with -obs: baseline report for the correlator_detect comparison")
+
+		minSteadyHit  = flag.Float64("min-steady-hit", 0, "with -convert: exit 1 when the steady-state cache hit rate is below this percentage (0 disables)")
+		maxNsPerBatch = flag.Float64("max-convert-ns", 0, "with -convert: exit 1 when full-mode ns/batch exceeds this budget (0 disables)")
 	)
 	flag.Parse()
 
@@ -106,7 +109,7 @@ func main() {
 		if *out == "" {
 			*out = "BENCH_convert.json"
 		}
-		convertReportMain(*out, *runs, *duration, *seed)
+		convertReportMain(*out, *runs, *duration, *seed, *minSteadyHit, *maxNsPerBatch)
 		return
 	}
 	if *out == "" {

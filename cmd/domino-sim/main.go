@@ -55,6 +55,8 @@ func main() {
 		schedFl   = flag.String("scheduler", "", "DOMINO strict scheduling policy by name (see internal/strict registry; a spec's scheme_config.scheduler wins)")
 		convTrace = flag.Bool("convert-trace", false, "emit per-batch schedule-conversion records into the NDJSON trace (DOMINO)")
 		noCache   = flag.Bool("no-convert-cache", false, "disable DOMINO's conversion cache")
+		noInc     = flag.Bool("no-incremental", false, "disable DOMINO's incremental re-conversion memos")
+		verifyCvt = flag.Bool("verify-convert", false, "run convert.Verify on every DOMINO plan (debug; panics on violation)")
 		traceFile = flag.String("tracefile", "", "write the NDJSON observability trace to this file (- for stdout; overrides the spec's obs.trace_file)")
 		metrics   = flag.Bool("metrics", false, "collect and print run metrics (counters, airtime breakdown)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address (e.g. localhost:6060)")
@@ -114,10 +116,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "domino-sim: %v\n", err)
 		os.Exit(2)
 	}
-	if *schedFl != "" || *convTrace || *noCache {
+	if *schedFl != "" || *convTrace || *noCache || *noInc || *verifyCvt {
 		// CLI-level DOMINO knobs ride the typed tune hook, which core runs
 		// before the spec's scheme_config — so a spec file always wins.
-		sched, ct, nc := *schedFl, *convTrace, *noCache
+		sched, ct, nc, ni, vc := *schedFl, *convTrace, *noCache, *noInc, *verifyCvt
 		prev := sc.TuneDomino
 		sc.TuneDomino = func(c *domino.Config) {
 			if prev != nil {
@@ -128,6 +130,8 @@ func main() {
 			}
 			c.ConvertTrace = c.ConvertTrace || ct
 			c.NoConvertCache = c.NoConvertCache || nc
+			c.NoIncremental = c.NoIncremental || ni
+			c.VerifyConvert = c.VerifyConvert || vc
 		}
 	}
 	if *trace {

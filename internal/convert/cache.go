@@ -1,6 +1,8 @@
 package convert
 
 import (
+	"bytes"
+
 	"repro/internal/phy"
 	"repro/internal/strict"
 )
@@ -11,20 +13,42 @@ import (
 // entries cover the cycle with room to spare.
 const DefaultCacheCap = 512
 
-// Cache memoizes whole-batch conversions. The key is a byte serialization
-// of everything the pipeline reads: the converter knobs, the cover
-// rotation, the strict batch, the poll list, and the full retained-slot
-// state. Equal key ⇒ equal pre-conversion state ⇒ the passes would
-// recompute exactly the stored result, so replaying it is bit-identical —
-// including the broadcast rewrite BatchConnect performs on the retained
-// slot the engine is still executing.
+// Cache memoizes whole-batch conversions under a canonical key: a byte
+// serialization of exactly what the pass pipeline reads, hashed with FNV-1a.
+// The passes read from the retained slot only its endpoint sequence (the
+// candidate order assignTriggers derives) and its broadcasts — never the
+// entries' link identities, fake flags, trigger lists, or ROP markers — so
+// those are left out of the key. Equal canonical key ⇒ the passes would
+// recompute exactly the stored result, so replaying it is bit-identical,
+// including the broadcast rewrite BatchConnect performs on the retained slot
+// the engine is still executing.
+//
+// Entries are bounded by an LRU list with eviction accounting; hash
+// collisions are made safe by storing the canonical key bytes and comparing
+// them on lookup. Alongside the canonical key a fingerprint of the dropped
+// exact state is kept, purely for accounting: hits whose exact fingerprint
+// differs from the stored one are hits the old exact keying would have
+// missed (CanonicalHits vs ExactHits).
 type Cache struct {
-	capacity int
-	entries  map[string]*cacheEntry
-	order    []string // insertion order, for FIFO eviction
-	keyBuf   []byte
+	capacity   int
+	entries    map[uint64]*cacheNode
+	head, tail *cacheNode // LRU order: head = most recent
+	keyBuf     []byte
+	exactBuf   []byte
 
-	Hits, Misses int64
+	Hits, Misses  int64
+	ExactHits     int64 // hits where the dropped exact state matched too
+	CanonicalHits int64 // hits only the canonical key could serve
+	Evictions     int64
+}
+
+// cacheNode is one LRU-linked cache slot.
+type cacheNode struct {
+	hash       uint64
+	key        []byte // canonical key bytes, for collision safety
+	exact      uint64 // fingerprint of the dropped exact state at store time
+	val        *cacheEntry
+	prev, next *cacheNode
 }
 
 type cacheEntry struct {
@@ -48,7 +72,7 @@ func (c *Converter) EnableCache(capacity int) {
 	if capacity <= 0 {
 		capacity = DefaultCacheCap
 	}
-	c.cache = &Cache{capacity: capacity, entries: make(map[string]*cacheEntry)}
+	c.cache = &Cache{capacity: capacity, entries: make(map[uint64]*cacheNode)}
 }
 
 // DisableCache turns conversion caching off and drops all entries.
@@ -61,6 +85,41 @@ func (c *Converter) CacheStats() (hits, misses int64) {
 		return 0, 0
 	}
 	return c.cache.Hits, c.cache.Misses
+}
+
+// CacheInfo is the cache's full accounting snapshot.
+type CacheInfo struct {
+	Hits, Misses  int64
+	ExactHits     int64
+	CanonicalHits int64
+	Evictions     int64
+	Occupancy     int
+	Capacity      int
+}
+
+// CacheDetails returns the cache's full accounting; zeros when caching is
+// off.
+func (c *Converter) CacheDetails() CacheInfo {
+	if c.cache == nil {
+		return CacheInfo{}
+	}
+	return CacheInfo{
+		Hits: c.cache.Hits, Misses: c.cache.Misses,
+		ExactHits: c.cache.ExactHits, CanonicalHits: c.cache.CanonicalHits,
+		Evictions: c.cache.Evictions,
+		Occupancy: len(c.cache.entries), Capacity: c.cache.capacity,
+	}
+}
+
+// fnv1a is the 64-bit FNV-1a hash — fast, dependency-free, and good enough
+// for a collision-checked table.
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
 }
 
 // appendInt serializes one non-negative int as 4 little-endian bytes (all
@@ -77,8 +136,12 @@ func appendNodes(b []byte, ns []phy.NodeID) []byte {
 	return b
 }
 
-// cacheKey serializes the complete pre-conversion state.
-func (c *Converter) cacheKey(batch strict.Schedule, pollAPs []phy.NodeID) string {
+// canonicalKey serializes the canonical pre-conversion state into the key
+// buffer and returns its hash. The retained slot contributes its endpoint
+// sequence (first-occurrence order — exactly the candidate order
+// assignTriggers will derive) and its broadcasts; everything else about the
+// retained slot is invisible to the passes.
+func (c *Converter) canonicalKey(batch strict.Schedule, pollAPs []phy.NodeID) uint64 {
 	b := c.cache.keyBuf[:0]
 	b = appendInt(b, c.MaxInbound)
 	b = appendInt(b, c.MaxOutbound)
@@ -100,6 +163,40 @@ func (c *Converter) cacheKey(batch strict.Schedule, pollAPs []phy.NodeID) string
 		b = append(b, 0)
 	} else {
 		b = append(b, 1)
+		t := c.tab()
+		cands := t.candsBuf[:0]
+		for _, e := range c.prev.Entries {
+			s, r := e.Link.Sender, e.Link.Receiver
+			if t.candIdx[s] < 0 {
+				t.candIdx[s] = int32(len(cands))
+				cands = append(cands, s)
+			}
+			if t.candIdx[r] < 0 {
+				t.candIdx[r] = int32(len(cands))
+				cands = append(cands, r)
+			}
+		}
+		b = appendNodes(b, cands)
+		for _, n := range cands {
+			t.candIdx[n] = -1
+		}
+		t.candsBuf = cands[:0]
+		b = appendInt(b, len(c.prev.Broadcasts))
+		for _, bc := range c.prev.Broadcasts {
+			b = appendInt(b, int(bc.From))
+			b = appendNodes(b, bc.Targets)
+		}
+	}
+	c.cache.keyBuf = b
+	return fnv1a(b)
+}
+
+// exactFingerprint hashes the retained-slot state the canonical key drops
+// (entry link IDs, fake flags, trigger lists, ROP markers). Only used to
+// split hits into exact vs canonical-only for accounting.
+func (c *Converter) exactFingerprint() uint64 {
+	b := c.cache.exactBuf[:0]
+	if c.prev != nil {
 		b = appendInt(b, len(c.prev.Entries))
 		for _, e := range c.prev.Entries {
 			b = appendInt(b, e.Link.ID)
@@ -110,27 +207,74 @@ func (c *Converter) cacheKey(batch strict.Schedule, pollAPs []phy.NodeID) string
 			}
 			b = appendNodes(b, e.TriggeredBy)
 		}
-		b = appendInt(b, len(c.prev.Broadcasts))
-		for _, bc := range c.prev.Broadcasts {
-			b = appendInt(b, int(bc.From))
-			b = appendNodes(b, bc.Targets)
-		}
 		b = appendNodes(b, c.prev.ROPAfter)
 	}
-	c.cache.keyBuf = b
-	return string(b)
+	c.cache.exactBuf = b
+	return fnv1a(b)
+}
+
+// lruFront moves n to the head of the LRU list (inserting it if detached).
+func (ca *Cache) lruFront(n *cacheNode) {
+	if ca.head == n {
+		return
+	}
+	// Detach.
+	if n.prev != nil {
+		n.prev.next = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	if ca.tail == n {
+		ca.tail = n.prev
+	}
+	// Push front.
+	n.prev = nil
+	n.next = ca.head
+	if ca.head != nil {
+		ca.head.prev = n
+	}
+	ca.head = n
+	if ca.tail == nil {
+		ca.tail = n
+	}
+}
+
+// lruRemove unlinks n from the LRU list and the table.
+func (ca *Cache) lruRemove(n *cacheNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else if ca.head == n {
+		ca.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else if ca.tail == n {
+		ca.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+	delete(ca.entries, n.hash)
 }
 
 // cacheReplay applies a stored conversion: fresh slot copies, the retained
 // slot's broadcast rewrite, and the converter state the pipeline would have
-// left behind.
-func (c *Converter) cacheReplay(key string, batch strict.Schedule, pollAPs []phy.NodeID) (*Plan, bool) {
-	e, ok := c.cache.entries[key]
-	if !ok {
-		c.cache.Misses++
+// left behind. hash/exact come from canonicalKey/exactFingerprint, whose key
+// bytes are still in the buffers.
+func (c *Converter) cacheReplay(hash, exact uint64, batch strict.Schedule, pollAPs []phy.NodeID) (*Plan, bool) {
+	ca := c.cache
+	n, ok := ca.entries[hash]
+	if !ok || !bytes.Equal(n.key, ca.keyBuf) {
+		ca.Misses++
 		return nil, false
 	}
-	c.cache.Hits++
+	ca.Hits++
+	if n.exact == exact {
+		ca.ExactHits++
+	} else {
+		ca.CanonicalHits++
+	}
+	ca.lruFront(n)
+	e := n.val
 	slots := copySlots(e.slots)
 	p := &Plan{
 		Batch: batch, PollAPs: pollAPs, Prev: c.prev,
@@ -151,9 +295,10 @@ func (c *Converter) cacheReplay(key string, batch strict.Schedule, pollAPs []phy
 	return p, true
 }
 
-// cacheStore snapshots a freshly-converted plan under key, evicting the
-// oldest entry at capacity.
-func (c *Converter) cacheStore(key string, p *Plan) {
+// cacheStore snapshots a freshly-converted plan, evicting the
+// least-recently-used entry at capacity.
+func (c *Converter) cacheStore(hash, exact uint64, p *Plan) {
+	ca := c.cache
 	e := &cacheEntry{
 		slots:         copySlots(p.Slots),
 		forced:        append([]phy.NodeID(nil), p.ForcedROP...),
@@ -162,16 +307,28 @@ func (c *Converter) cacheStore(key string, p *Plan) {
 	}
 	e.stats.CacheHit = false
 	e.stats.PassNs = [NumPasses]int64{}
+	e.stats.CoverReuse = 0
+	e.stats.PairReuse = 0
 	if p.Prev != nil {
 		e.prevBroadcasts = copyBroadcasts(p.Prev.Broadcasts)
 	}
-	if len(c.cache.entries) >= c.cache.capacity {
-		oldest := c.cache.order[0]
-		c.cache.order = c.cache.order[1:]
-		delete(c.cache.entries, oldest)
+	if old, ok := ca.entries[hash]; ok {
+		// Hash collision with different key bytes (a true duplicate key
+		// would have replayed): last writer wins.
+		ca.lruRemove(old)
 	}
-	c.cache.entries[key] = e
-	c.cache.order = append(c.cache.order, key)
+	for len(ca.entries) >= ca.capacity {
+		ca.Evictions++
+		ca.lruRemove(ca.tail)
+	}
+	n := &cacheNode{
+		hash:  hash,
+		key:   append([]byte(nil), ca.keyBuf...),
+		exact: exact,
+		val:   e,
+	}
+	ca.entries[hash] = n
+	ca.lruFront(n)
 }
 
 func copyBroadcasts(src []Broadcast) []Broadcast {

@@ -95,20 +95,20 @@ func TestCacheKeyDistinguishesState(t *testing.T) {
 	c := New(g)
 	c.EnableCache(0)
 	b := fixedBatch(g, 4)
-	k1 := c.cacheKey(b, net.APs)
-	if k2 := c.cacheKey(b, nil); k2 == k1 {
+	k1 := c.canonicalKey(b, net.APs)
+	if k2 := c.canonicalKey(b, nil); k2 == k1 {
 		t.Error("key ignores the poll list")
 	}
-	if k2 := c.cacheKey(b[:3], net.APs); k2 == k1 {
+	if k2 := c.canonicalKey(b[:3], net.APs); k2 == k1 {
 		t.Error("key ignores the batch")
 	}
 	c.coverRot++
-	if k2 := c.cacheKey(b, net.APs); k2 == k1 {
+	if k2 := c.canonicalKey(b, net.APs); k2 == k1 {
 		t.Error("key ignores the cover rotation")
 	}
 	c.coverRot--
 	c.ConvertPlan(b, net.APs) // sets a retained slot
-	if k2 := c.cacheKey(b, net.APs); k2 == k1 {
+	if k2 := c.canonicalKey(b, net.APs); k2 == k1 {
 		t.Error("key ignores the retained slot")
 	}
 }
@@ -122,12 +122,19 @@ func TestCacheEvictionBound(t *testing.T) {
 	// history is irrelevant — the batches differ), so entries keep arriving.
 	for i := 0; i < 10; i++ {
 		c.ConvertPlan(strict.Schedule{{i % len(g.Links)}}, net.APs)
-		if len(c.cache.entries) > 2 || len(c.cache.order) > 2 {
+		if len(c.cache.entries) > 2 {
 			t.Fatalf("round %d: cache grew past capacity: %d entries", i, len(c.cache.entries))
 		}
 	}
-	if _, misses := c.CacheStats(); misses == 0 {
+	info := c.CacheDetails()
+	if info.Misses == 0 {
 		t.Error("distinct states produced no misses")
+	}
+	if info.Evictions == 0 {
+		t.Error("capacity-2 cache under churn recorded no evictions")
+	}
+	if info.Occupancy > info.Capacity {
+		t.Errorf("occupancy %d exceeds capacity %d", info.Occupancy, info.Capacity)
 	}
 }
 

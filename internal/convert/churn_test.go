@@ -1,0 +1,150 @@
+package convert
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/strict"
+	"repro/internal/topo"
+)
+
+// TestChurnEquivalenceProperty drives three converters in lockstep over
+// randomized churn workloads — clients joining and leaving (links flipping
+// active), backlogs drifting, and periodic returns to earlier demand states —
+// and asserts that full re-conversion, incremental re-conversion and
+// cache replay produce DeepEqual plans that all pass Verify.
+//
+// Every batch is padded to a multiple of len(g.Links) slots so the fake-cover
+// rotation returns to zero at each batch boundary: recurring demand states
+// then recur exactly, which forces the cache-replay and memo-replay paths to
+// actually fire (asserted at the end — a property test that never leaves the
+// miss path proves nothing).
+func TestChurnEquivalenceProperty(t *testing.T) {
+	seeds := int64(8)
+	batchesPerSeed := 40
+	if testing.Short() {
+		seeds, batchesPerSeed = 3, 20
+	}
+	var cacheHits, coverHits, pairHits int64
+	feasible := 0
+	for seed := int64(1); seed <= seeds; seed++ {
+		tr := topo.RandomTrace(seed, 40, 800)
+		rng := rand.New(rand.NewSource(seed * 7))
+		net, err := topo.BuildT(tr, 6, 2, phy.DefaultConfig(), phy.Rate12, rng)
+		if err != nil {
+			continue
+		}
+		feasible++
+		g := topo.NewConflictGraph(net, net.BuildLinks(true, true), phy.DefaultConfig(), phy.Rate12)
+		sched, err := strict.BuildScheduler("lqf", g)
+		if err != nil {
+			t.Fatalf("seed %d: BuildScheduler: %v", seed, err)
+		}
+
+		full := New(g) // no cache, no memos: the reference
+		inc := New(g)  // incremental memos only
+		inc.EnableIncremental()
+		cached := New(g) // batch cache over incremental memos (engine default)
+		cached.EnableCache(0)
+		cached.EnableIncremental()
+		if seed%2 == 0 {
+			full.DisableFakeCover = true
+			inc.DisableFakeCover = true
+			cached.DisableFakeCover = true
+		}
+
+		// Churn state: per-link activity and backlog, plus a snapshot the
+		// workload periodically returns to (an office emptying and refilling).
+		backlog := make([]int, len(g.Links))
+		active := make([]bool, len(g.Links))
+		for i := range active {
+			active[i] = true
+			backlog[i] = rng.Intn(5)
+		}
+		snapBacklog := append([]int(nil), backlog...)
+		snapActive := append([]bool(nil), active...)
+
+		for batch := 0; batch < batchesPerSeed; batch++ {
+			switch {
+			case batch%5 == 4:
+				// Return to the remembered demand state: recurrence.
+				copy(backlog, snapBacklog)
+				copy(active, snapActive)
+			default:
+				// Joins/leaves: flip a couple of links' activity.
+				for k := 0; k < 2; k++ {
+					active[rng.Intn(len(active))] = rng.Intn(3) == 0
+				}
+				// Backlog drift on active links.
+				for i := range backlog {
+					if !active[i] {
+						backlog[i] = 0
+						continue
+					}
+					if backlog[i] += rng.Intn(3) - 1; backlog[i] < 0 {
+						backlog[i] = 0
+					}
+				}
+			}
+
+			est := make([]int, len(backlog))
+			for i, b := range backlog {
+				if active[i] {
+					est[i] = b
+				}
+			}
+			b := sched.Batch(est, len(g.Links))
+			// Pad to a multiple of len(g.Links) so coverRot realigns (see the
+			// test comment); empty slots are what the engine pads with too.
+			for len(b)%len(g.Links) != 0 || len(b) == 0 {
+				b = append(b, strict.Slot{})
+			}
+
+			pFull := full.ConvertPlan(b, net.APs)
+			pInc := inc.ConvertPlan(b, net.APs)
+			pCached := cached.ConvertPlan(b, net.APs)
+			for _, p := range []*Plan{pFull, pInc, pCached} {
+				if err := Verify(p); err != nil {
+					t.Fatalf("seed %d batch %d: %v", seed, batch, err)
+				}
+			}
+			ref := normalizePlan(pFull)
+			if got := normalizePlan(pInc); !reflect.DeepEqual(ref, got) {
+				t.Fatalf("seed %d batch %d: incremental plan diverges from full re-conversion", seed, batch)
+			}
+			if got := normalizePlan(pCached); !reflect.DeepEqual(ref, got) {
+				t.Fatalf("seed %d batch %d: cache-replay plan diverges from full re-conversion", seed, batch)
+			}
+		}
+		hits, _ := cached.CacheStats()
+		cacheHits += hits
+		is := inc.IncrementalStats()
+		coverHits += is.CoverHits
+		pairHits += is.PairHits
+	}
+	if feasible == 0 {
+		t.Fatal("no feasible random topology; property never exercised")
+	}
+	if cacheHits == 0 {
+		t.Error("cache never replayed a batch: the recurrence in the workload is broken")
+	}
+	if coverHits == 0 || pairHits == 0 {
+		t.Errorf("incremental memos never replayed (cover hits %d, pair hits %d)", coverHits, pairHits)
+	}
+}
+
+// normalizePlan copies a plan with the fields that legitimately differ
+// between conversion paths zeroed: wall-clock pass times, the cache-hit flag
+// and the memo-reuse counters. Everything else — slots, triggers,
+// broadcasts, the rewritten retained slot, ROP placement and the semantic
+// stats — must be identical bit for bit.
+func normalizePlan(p *Plan) Plan {
+	q := *p
+	q.Stats.PassNs = [NumPasses]int64{}
+	q.Stats.CacheHit = false
+	q.Stats.CoverReuse = 0
+	q.Stats.PairReuse = 0
+	return q
+}

@@ -90,6 +90,15 @@ type Converter struct {
 	// converter's complete pre-conversion state (see EnableCache).
 	cache *Cache
 
+	// tables holds the per-topology precomputed candidate lists and scratch
+	// buffers (built lazily on first conversion, see tables.go).
+	tables *tables
+
+	// inc, when non-nil, is the incremental re-conversion engine: it memoizes
+	// per-slot covers and per-pair trigger assignments so steady-state batches
+	// reuse prior work even when the whole-batch cache misses (see diff.go).
+	inc *incState
+
 	// Untriggered counts entries for which no trigger path existed (e.g.
 	// across disconnected interference domains). Such entries stay in the
 	// schedule — the executing AP free-runs them on its local slot clock,

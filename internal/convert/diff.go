@@ -1,0 +1,248 @@
+package convert
+
+import (
+	"repro/internal/phy"
+	"repro/internal/strict"
+)
+
+// Incremental re-conversion. Steady-state workloads repeat slot contents and
+// adjacent-slot pairs far more often than they repeat whole batches, so even
+// when the whole-batch cache misses, most of the pass work has been done
+// before. The diff layer memoizes the two dominant units of that work:
+//
+//   - covers: (coverRot, strict slot) → the maximal-cover expansion
+//     FakeLinkInsert would build. Covers with equal content (same link/fake
+//     sequence, regardless of which rotation produced them) are interned
+//     under one content ID.
+//   - pairs: (content ID, content ID) → the full TriggerAssign outcome for
+//     one adjacent in-batch slot pair. In-batch pairs always start from
+//     empty broadcast state (ROPInsert runs after TriggerAssign), so the
+//     assignment is a pure function of the two cover contents and the
+//     converter's fixed knobs — the memo replays per-entry trigger lists,
+//     the broadcast list, and the stat deltas bit-identically.
+//
+// Both memos capture on the SECOND sighting of a key: the first records only
+// the key, so one-off batches (churny joins/leaves) pay a map insert instead
+// of a template copy, and the snapshot cost is only spent on work that has
+// already proven repetitive.
+//
+// BatchConnect (the retained slot carries planted poll broadcasts) and
+// ROPInsert (cheap, mutates broadcasts) always run live.
+//
+// The memos are flushed wholesale when either exceeds its cap — content IDs
+// index both maps, so they must stay consistent.
+const (
+	DefaultCoverMemoCap = 4096
+	DefaultPairMemoCap  = 16384
+)
+
+type coverTpl struct {
+	ids  []int // nil until the second sighting captures the template
+	fake []bool
+	id   int32 // interned content ID, shared across rotations; -1 until known
+}
+
+type pairRes struct {
+	trig     [][]phy.NodeID // per next-entry TriggeredBy (nil when none)
+	bcasts   []Broadcast    // prev's rebuilt broadcast list
+	triggers int
+	backups  int
+	untrig   int
+}
+
+type incState struct {
+	covers  map[string]*coverTpl
+	content map[string]int32
+	pairs   map[uint64]*pairRes // nil value: seen once, payload not yet captured
+	keyBuf  []byte
+
+	// batchCovers holds the content IDs of the plan in flight, one per slot
+	// (-1 while a cover's content has not been interned yet).
+	batchCovers []int32
+
+	coverHits, coverMisses int64
+	pairHits, pairMisses   int64
+	flushes                int64
+}
+
+// EnableIncremental turns on incremental re-conversion: per-slot covers and
+// per-pair trigger assignments are memoized across batches. Output is
+// bit-identical to full re-conversion.
+func (c *Converter) EnableIncremental() {
+	c.inc = &incState{
+		covers:  make(map[string]*coverTpl),
+		content: make(map[string]int32),
+		pairs:   make(map[uint64]*pairRes),
+	}
+}
+
+// DisableIncremental turns incremental re-conversion off and drops the memos.
+func (c *Converter) DisableIncremental() { c.inc = nil }
+
+// IncStats reports the incremental layer's cumulative counters.
+type IncStats struct {
+	CoverHits, CoverMisses int64
+	PairHits, PairMisses   int64
+	Flushes                int64
+	Covers, Pairs          int // current memo occupancy
+}
+
+// IncrementalStats returns the incremental layer's counters; zeros when the
+// layer is off.
+func (c *Converter) IncrementalStats() IncStats {
+	if c.inc == nil {
+		return IncStats{}
+	}
+	s := c.inc
+	return IncStats{
+		CoverHits: s.coverHits, CoverMisses: s.coverMisses,
+		PairHits: s.pairHits, PairMisses: s.pairMisses,
+		Flushes: s.flushes,
+		Covers:  len(s.covers), Pairs: len(s.pairs),
+	}
+}
+
+// begin prepares the memos for one plan: a wholesale flush when over cap
+// (content IDs index both maps, so they go together — flushing between plans
+// keeps the in-flight batchCovers valid), then reset of the per-plan state.
+func (s *incState) begin() {
+	if len(s.covers) > DefaultCoverMemoCap || len(s.pairs) > DefaultPairMemoCap {
+		s.flushes++
+		s.covers = make(map[string]*coverTpl)
+		s.content = make(map[string]int32)
+		s.pairs = make(map[uint64]*pairRes)
+	}
+	s.batchCovers = s.batchCovers[:0]
+}
+
+// incBuildSlot is buildSlot behind the cover memo. The key is the
+// pre-advance rotation plus the strict slot; a hit instantiates the stored
+// template (and advances the rotation exactly as buildSlot would).
+func (c *Converter) incBuildSlot(slot strict.Slot, st *Stats) RelSlot {
+	s := c.inc
+	b := s.keyBuf[:0]
+	b = appendInt(b, c.coverRot)
+	for _, id := range slot {
+		b = appendInt(b, id)
+	}
+	s.keyBuf = b
+	tpl, seen := s.covers[string(b)]
+	if seen && tpl.ids != nil {
+		s.coverHits++
+		st.CoverReuse++
+		if !c.DisableFakeCover {
+			c.coverRot = (c.coverRot + 1) % len(c.G.Links)
+		}
+		s.batchCovers = append(s.batchCovers, tpl.id)
+		entries := make([]Entry, len(tpl.ids))
+		for i, id := range tpl.ids {
+			entries[i] = Entry{Link: c.G.Links[id], Fake: tpl.fake[i]}
+		}
+		return RelSlot{Entries: entries}
+	}
+	s.coverMisses++
+	key := string(b)
+	rel := c.buildSlot(slot)
+	if !seen {
+		// First sighting: record the key only; the template is captured if
+		// (when) the cover recurs.
+		s.covers[key] = &coverTpl{id: -1}
+		s.batchCovers = append(s.batchCovers, -1)
+		return rel
+	}
+	tpl.ids = make([]int, len(rel.Entries))
+	tpl.fake = make([]bool, len(rel.Entries))
+	for i, e := range rel.Entries {
+		tpl.ids[i] = e.Link.ID
+		tpl.fake[i] = e.Fake
+	}
+	tpl.id = s.intern(tpl)
+	s.batchCovers = append(s.batchCovers, tpl.id)
+	return rel
+}
+
+// intern returns the content ID for a cover, assigning a fresh one on first
+// sight. Content = the ordered (link, fake) sequence — everything
+// TriggerAssign reads from a slot.
+func (s *incState) intern(t *coverTpl) int32 {
+	b := s.keyBuf[:0]
+	for i, id := range t.ids {
+		b = appendInt(b, id)
+		if t.fake[i] {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	s.keyBuf = b
+	if id, ok := s.content[string(b)]; ok {
+		return id
+	}
+	id := int32(len(s.content))
+	s.content[string(b)] = id
+	return id
+}
+
+// incAssignBatch is TriggerAssign behind the pair memo. Pairs whose covers
+// have no content ID yet (first sighting) run live without being recorded —
+// their covers must recur before the pair can.
+func (c *Converter) incAssignBatch(p *Plan) {
+	s := c.inc
+	for i := 1; i < len(p.Slots); i++ {
+		prev, next := &p.Slots[i-1], &p.Slots[i]
+		if len(prev.Broadcasts) != 0 || i >= len(s.batchCovers) {
+			// Non-pure pair (shouldn't happen in-batch, but stay safe).
+			c.assignTriggers(prev, next, &p.Stats)
+			continue
+		}
+		id0, id1 := s.batchCovers[i-1], s.batchCovers[i]
+		if id0 < 0 || id1 < 0 {
+			s.pairMisses++
+			c.assignTriggers(prev, next, &p.Stats)
+			continue
+		}
+		key := uint64(uint32(id0))<<32 | uint64(uint32(id1))
+		r, seen := s.pairs[key]
+		if seen && r != nil {
+			s.pairHits++
+			p.Stats.PairReuse++
+			applyPairRes(r, prev, next, &p.Stats)
+			continue
+		}
+		s.pairMisses++
+		t0, b0, u0 := p.Stats.Triggers, p.Stats.BackupTriggers, p.Stats.Untriggered
+		c.assignTriggers(prev, next, &p.Stats)
+		if !seen {
+			s.pairs[key] = nil // seen once; snapshot if it recurs
+			continue
+		}
+		r = &pairRes{
+			triggers: p.Stats.Triggers - t0,
+			backups:  p.Stats.BackupTriggers - b0,
+			untrig:   p.Stats.Untriggered - u0,
+			bcasts:   copyBroadcasts(prev.Broadcasts),
+			trig:     make([][]phy.NodeID, len(next.Entries)),
+		}
+		for j := range next.Entries {
+			if tb := next.Entries[j].TriggeredBy; len(tb) > 0 {
+				r.trig[j] = append([]phy.NodeID(nil), tb...)
+			}
+		}
+		s.pairs[key] = r
+	}
+}
+
+// applyPairRes replays a memoized pair assignment onto a fresh slot pair.
+func applyPairRes(r *pairRes, prev, next *RelSlot, st *Stats) {
+	for j := range next.Entries {
+		if tl := r.trig[j]; len(tl) > 0 {
+			next.Entries[j].TriggeredBy = append([]phy.NodeID(nil), tl...)
+		}
+	}
+	if len(r.bcasts) > 0 {
+		prev.Broadcasts = copyBroadcasts(r.bcasts)
+	}
+	st.Triggers += r.triggers
+	st.BackupTriggers += r.backups
+	st.Untriggered += r.untrig
+}

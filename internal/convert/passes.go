@@ -20,7 +20,11 @@ func (FakeLinkInsert) Name() string { return PassNames[0] }
 // Apply implements Pass.
 func (FakeLinkInsert) Apply(c *Converter, p *Plan) {
 	for _, slot := range p.Batch {
-		p.Slots = append(p.Slots, c.buildSlot(slot))
+		if c.inc != nil {
+			p.Slots = append(p.Slots, c.incBuildSlot(slot, &p.Stats))
+		} else {
+			p.Slots = append(p.Slots, c.buildSlot(slot))
+		}
 	}
 	p.Stats.Slots = len(p.Slots)
 	for i := range p.Slots {
@@ -37,25 +41,27 @@ func (FakeLinkInsert) Apply(c *Converter, p *Plan) {
 // buildSlot expands a strict slot to a maximal cover with fake links,
 // scanning candidates from a rotating start for fairness.
 func (c *Converter) buildSlot(slot strict.Slot) RelSlot {
-	real := make(map[int]bool, len(slot))
+	t := c.tab()
+	t.realEpoch++
 	for _, id := range slot {
-		real[id] = true
+		t.realStamp[id] = t.realEpoch
 	}
 	cover := []int(slot)
 	if !c.DisableFakeCover {
 		n := len(c.G.Links)
-		order := make([]int, n)
+		order := t.orderBuf[:n]
 		for i := range order {
 			order[i] = (i + c.coverRot) % n
 		}
 		c.coverRot = (c.coverRot + 1) % n
-		cover = c.G.MaximalIndependentSet(slot, order)
+		cover = c.G.MaximalIndependentSetInto(t.coverBuf[:0], t.blockedBuf, slot, order)
+		t.coverBuf = cover
 	}
-	rel := RelSlot{}
+	entries := make([]Entry, 0, len(cover))
 	for _, id := range cover {
-		rel.Entries = append(rel.Entries, Entry{Link: c.G.Links[id], Fake: !real[id]})
+		entries = append(entries, Entry{Link: c.G.Links[id], Fake: t.realStamp[id] != t.realEpoch})
 	}
-	return rel
+	return RelSlot{Entries: entries}
 }
 
 // TriggerAssign wires every consecutive slot pair inside the batch (paper
@@ -69,6 +75,10 @@ func (TriggerAssign) Name() string { return PassNames[1] }
 
 // Apply implements Pass.
 func (TriggerAssign) Apply(c *Converter, p *Plan) {
+	if c.inc != nil {
+		c.incAssignBatch(p)
+		return
+	}
 	for i := 1; i < len(p.Slots); i++ {
 		c.assignTriggers(&p.Slots[i-1], &p.Slots[i], &p.Stats)
 	}
@@ -97,31 +107,50 @@ func (BatchConnect) Apply(c *Converter, p *Plan) {
 // link, pick the candidate trigger link whose better endpoint has the
 // highest SNR at the link's sender; repeat for a backup trigger. Outbound
 // capacity is per broadcasting node.
+//
+// The scan runs over the precomputed per-target candidate lists (strongest
+// RSS first, trigger floor already applied); equal-RSS runs break toward the
+// earliest candidate in first-occurrence order, reproducing the historical
+// linear argmax exactly.
 func (c *Converter) assignTriggers(prev, next *RelSlot, st *Stats) {
-	outbound := map[phy.NodeID]int{}
-	inbound := make([]int, len(next.Entries))
-	targets := map[phy.NodeID][]phy.NodeID{}
+	t := c.tab()
+	outbound := t.outbound
+	targets := t.targets
+	mark := t.fromMark
+	touched := t.touched[:0]
+
 	// Preserve broadcasts already planted on prev (ROP poll triggers added
 	// when prev was the last slot of the previous batch).
 	for _, b := range prev.Broadcasts {
-		outbound[b.From] += len(b.Targets)
-		targets[b.From] = append(targets[b.From], b.Targets...)
+		n := b.From
+		if !mark[n] {
+			mark[n] = true
+			touched = append(touched, n)
+		}
+		outbound[n] += len(b.Targets)
+		targets[n] = append(targets[n], b.Targets...)
 	}
 
-	// candidate broadcasters in prev: both endpoints of every entry.
-	type cand struct {
-		node phy.NodeID
-		link *topo.Link
-	}
-	var cands []cand
-	seen := map[phy.NodeID]bool{}
+	// Candidate broadcasters in prev: both endpoints of every entry, in
+	// first-occurrence order. candIdx doubles as the dedup set and records
+	// each node's rank for tie-breaking.
+	cands := t.candsBuf[:0]
+	candIdx := t.candIdx
 	for _, e := range prev.Entries {
-		for _, n := range []phy.NodeID{e.Link.Sender, e.Link.Receiver} {
-			if !seen[n] {
-				seen[n] = true
-				cands = append(cands, cand{n, e.Link})
-			}
+		s, r := e.Link.Sender, e.Link.Receiver
+		if candIdx[s] < 0 {
+			candIdx[s] = int32(len(cands))
+			cands = append(cands, s)
 		}
+		if candIdx[r] < 0 {
+			candIdx[r] = int32(len(cands))
+			cands = append(cands, r)
+		}
+	}
+
+	inbound := t.inboundBuf[:0]
+	for range next.Entries {
+		inbound = append(inbound, 0)
 	}
 
 	// Two rounds: primary triggers first, then backups.
@@ -131,21 +160,22 @@ func (c *Converter) assignTriggers(prev, next *RelSlot, st *Stats) {
 				continue // did not get a trigger in an earlier round
 			}
 			target := next.Entries[i].Link.Sender
-			best := -1
-			bestSNR := 0.0
-			for ci, cd := range cands {
-				if outbound[cd.node] >= c.MaxOutbound {
-					continue
+			dl := t.candByTarget[target]
+			rs := t.candRSS[target]
+			best := int32(-1)
+			bestRSS := 0.0
+			for k := 0; k < len(dl); k++ {
+				if best >= 0 && rs[k] < bestRSS {
+					break // sorted: nothing stronger follows
 				}
-				if cd.node == target {
-					continue // a node does not trigger itself
-				}
-				if c.G.Net.RSS[cd.node][target] < topo.TriggerFloorDBm {
+				n := dl[k]
+				ci := candIdx[n]
+				if ci < 0 || outbound[n] >= c.MaxOutbound {
 					continue
 				}
 				already := false
-				for _, t := range next.Entries[i].TriggeredBy {
-					if t == cd.node {
+				for _, tb := range next.Entries[i].TriggeredBy {
+					if tb == n {
 						already = true
 						break
 					}
@@ -153,20 +183,25 @@ func (c *Converter) assignTriggers(prev, next *RelSlot, st *Stats) {
 				if already {
 					continue
 				}
-				snr := c.G.Net.RSS[cd.node][target]
-				if best == -1 || snr > bestSNR {
+				if best < 0 {
 					best = ci
-					bestSNR = snr
+					bestRSS = rs[k]
+				} else if ci < best {
+					best = ci
 				}
 			}
-			if best == -1 {
+			if best < 0 {
 				continue
 			}
-			b := cands[best]
-			outbound[b.node]++
+			bn := cands[best]
+			if !mark[bn] {
+				mark[bn] = true
+				touched = append(touched, bn)
+			}
+			outbound[bn]++
 			inbound[i]++
-			next.Entries[i].TriggeredBy = append(next.Entries[i].TriggeredBy, b.node)
-			targets[b.node] = append(targets[b.node], target)
+			next.Entries[i].TriggeredBy = append(next.Entries[i].TriggeredBy, bn)
+			targets[bn] = append(targets[bn], target)
 			st.Triggers++
 			if round > 0 {
 				st.BackupTriggers++
@@ -181,15 +216,26 @@ func (c *Converter) assignTriggers(prev, next *RelSlot, st *Stats) {
 	}
 
 	// Deterministic broadcast list.
-	var froms []phy.NodeID
-	for n := range targets {
-		froms = append(froms, n)
-	}
-	sort.Slice(froms, func(a, b int) bool { return froms[a] < froms[b] })
+	sort.Slice(touched, func(a, b int) bool { return touched[a] < touched[b] })
 	prev.Broadcasts = prev.Broadcasts[:0]
-	for _, n := range froms {
-		prev.Broadcasts = append(prev.Broadcasts, Broadcast{From: n, Targets: targets[n]})
+	for _, n := range touched {
+		tgts := make([]phy.NodeID, len(targets[n]))
+		copy(tgts, targets[n])
+		prev.Broadcasts = append(prev.Broadcasts, Broadcast{From: n, Targets: tgts})
 	}
+
+	// Reset scratch via the touched lists only.
+	for _, n := range cands {
+		candIdx[n] = -1
+	}
+	for _, n := range touched {
+		outbound[n] = 0
+		targets[n] = targets[n][:0]
+		mark[n] = false
+	}
+	t.candsBuf = cands[:0]
+	t.touched = touched[:0]
+	t.inboundBuf = inbound[:0]
 }
 
 // ROPInsert greedily places polling slots (paper §3.3 step 4): for each AP,
@@ -204,18 +250,33 @@ func (ROPInsert) Name() string { return PassNames[3] }
 
 // Apply implements Pass.
 func (ROPInsert) Apply(c *Converter, p *Plan) {
+	t := c.tab()
+	nw := t.nodeWords
+	// Per-slot trigger-reach masks: the union of the entries' link masks.
+	// Entries never change during this pass, so one build serves every AP.
+	need := len(p.Slots) * nw
+	if cap(t.slotMaskBuf) < need {
+		t.slotMaskBuf = make([]uint64, need)
+	}
+	masks := t.slotMaskBuf[:need]
+	for i := range masks {
+		masks[i] = 0
+	}
+	for i := range p.Slots {
+		m := masks[i*nw : (i+1)*nw]
+		for _, e := range p.Slots[i].Entries {
+			lm := t.linkTrigMask[e.Link.ID]
+			for w := range lm {
+				m[w] |= lm[w]
+			}
+		}
+	}
 	for _, ap := range p.PollAPs {
+		w, bit := int(ap)>>6, uint64(1)<<(uint(ap)&63)
 		placed := false
 		for i := range p.Slots {
-			canTrigger := false
-			for _, e := range p.Slots[i].Entries {
-				if c.G.CanTriggerNode(e.Link, ap) {
-					canTrigger = true
-					break
-				}
-			}
-			if !canTrigger {
-				continue
+			if masks[i*nw+w]&bit == 0 {
+				continue // no link in the slot can trigger the AP
 			}
 			if len(p.Slots[i].ROPAfter) == 0 {
 				p.Slots[i].ROPAfter = []phy.NodeID{ap}

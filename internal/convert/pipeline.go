@@ -42,6 +42,11 @@ type Stats struct {
 	PollTriggers int
 	// CacheHit marks a plan served from the conversion cache.
 	CacheHit bool
+	// CoverReuse / PairReuse count slots and adjacent pairs the incremental
+	// layer served from its memos instead of recomputing (zero on cache hits
+	// and when incremental conversion is off).
+	CoverReuse int
+	PairReuse  int
 	// PassNs is the wall-clock time each pass took, indexed like PassNames.
 	// Zero on cache hits. Wall time never feeds back into the simulation —
 	// it exists for the metrics registry and benchreport only.
@@ -101,17 +106,21 @@ func (c *Converter) ConvertPlan(batch strict.Schedule, pollAPs []phy.NodeID) *Pl
 	if c.cache == nil {
 		return c.runPasses(batch, pollAPs)
 	}
-	key := c.cacheKey(batch, pollAPs)
-	if p, ok := c.cacheReplay(key, batch, pollAPs); ok {
+	hash := c.canonicalKey(batch, pollAPs)
+	exact := c.exactFingerprint()
+	if p, ok := c.cacheReplay(hash, exact, batch, pollAPs); ok {
 		return p
 	}
 	p := c.runPasses(batch, pollAPs)
-	c.cacheStore(key, p)
+	c.cacheStore(hash, exact, p)
 	return p
 }
 
 // runPasses executes the pipeline on a fresh plan.
 func (c *Converter) runPasses(batch strict.Schedule, pollAPs []phy.NodeID) *Plan {
+	if c.inc != nil {
+		c.inc.begin()
+	}
 	p := &Plan{
 		Batch: batch, PollAPs: pollAPs, Prev: c.prev,
 		g: c.G, maxInbound: c.MaxInbound, maxOutbound: c.MaxOutbound,

@@ -15,6 +15,18 @@ type convertMetrics struct {
 	ropSlots, ropShared, ropForced  *obs.Counter
 	pollTriggers                    *obs.Counter
 	passNs                          [convert.NumPasses]*obs.Counter
+
+	// Cache accounting beyond hit/miss: LRU occupancy (gauge), cumulative
+	// evictions, and the exact vs canonical-only hit split. The converter
+	// keeps cumulative totals, so the counters sync by delta per batch.
+	cacheOccupancy                  *obs.Gauge
+	cacheEvictions                  *obs.Counter
+	cacheExactHits                  *obs.Counter
+	cacheCanonicalHits              *obs.Counter
+	lastEvict, lastExact, lastCanon int64
+
+	// Incremental-layer reuse, per batch (zero on cache hits).
+	incCoverReuse, incPairReuse *obs.Counter
 }
 
 // WireMetrics implements scheme.MetricsObservable: the run pipeline hands the
@@ -36,6 +48,14 @@ func (e *Engine) WireMetrics(m *obs.Metrics) {
 		ropShared:        m.Counter("convert.rop.shared"),
 		ropForced:        m.Counter("convert.rop.forced"),
 		pollTriggers:     m.Counter("convert.rop.poll_triggers"),
+
+		cacheOccupancy:     m.Gauge("convert.cache.occupancy"),
+		cacheEvictions:     m.Counter("convert.cache.evictions"),
+		cacheExactHits:     m.Counter("convert.cache.hits.exact"),
+		cacheCanonicalHits: m.Counter("convert.cache.hits.canonical"),
+
+		incCoverReuse: m.Counter("convert.inc.cover_reuse"),
+		incPairReuse:  m.Counter("convert.inc.pair_reuse"),
 	}
 	for i, name := range convert.PassNames {
 		cm.passNs[i] = m.Counter("convert.pass." + name + ".ns")
@@ -69,6 +89,14 @@ func (e *Engine) noteConvert(p *convert.Plan, firstSlot int) {
 		for i, ns := range st.PassNs {
 			cm.passNs[i].Add(ns)
 		}
+		info := e.server.conv.CacheDetails()
+		cm.cacheOccupancy.Set(float64(info.Occupancy))
+		cm.cacheEvictions.Add(info.Evictions - cm.lastEvict)
+		cm.cacheExactHits.Add(info.ExactHits - cm.lastExact)
+		cm.cacheCanonicalHits.Add(info.CanonicalHits - cm.lastCanon)
+		cm.lastEvict, cm.lastExact, cm.lastCanon = info.Evictions, info.ExactHits, info.CanonicalHits
+		cm.incCoverReuse.Add(int64(st.CoverReuse))
+		cm.incPairReuse.Add(int64(st.PairReuse))
 	}
 	if !e.cfg.ConvertTrace || e.Obs == nil {
 		return
@@ -94,6 +122,9 @@ func (e *Engine) noteConvert(p *convert.Plan, firstSlot int) {
 		hit = 1
 	}
 	emit("cache", hit, int64(len(p.Slots)))
+	info := e.server.conv.CacheDetails()
+	emit("cache_lru", int64(info.Occupancy), info.Evictions)
+	emit("incremental", int64(st.CoverReuse), int64(st.PairReuse))
 	// Inbound-trigger histogram over this batch's entries (final: batch
 	// connection already ran) and combined-signature histogram over the slots
 	// whose broadcast lists are final — the rewritten retained slot plus every

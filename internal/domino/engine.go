@@ -252,6 +252,18 @@ func (e *Engine) ConvertCacheStats() (hits, misses int64) {
 	return e.server.conv.CacheStats()
 }
 
+// ConvertCacheDetails reports the cache's full accounting (occupancy,
+// evictions, exact vs canonical-only hits); zeros when the cache is off.
+func (e *Engine) ConvertCacheDetails() convert.CacheInfo {
+	return e.server.conv.CacheDetails()
+}
+
+// ConvertIncrementalStats reports the incremental re-conversion layer's
+// counters; zeros when Config.NoIncremental disabled it.
+func (e *Engine) ConvertIncrementalStats() convert.IncStats {
+	return e.server.conv.IncrementalStats()
+}
+
 // DebugScheduleStats summarises the built schedule: total entries, slots,
 // ROP boundaries and entries without triggers (tests and diagnostics).
 func (e *Engine) DebugScheduleStats() (entries, slots, ropSlots, untriggered int) {
@@ -387,7 +399,10 @@ func newServer(e *Engine) *server {
 	}
 	conv.DisableFakeCover = e.cfg.NoFakeCover
 	if !e.cfg.NoConvertCache {
-		conv.EnableCache(0)
+		conv.EnableCache(e.cfg.ConvertCacheCap)
+	}
+	if !e.cfg.NoIncremental {
+		conv.EnableIncremental()
 	}
 	var sched strict.Scheduler
 	switch {
@@ -479,6 +494,11 @@ func (s *server) buildAndDispatch() {
 		pollAPs = nil // no ROP slots: queue state arrives only by piggyback
 	}
 	plan := s.conv.ConvertPlan(batch, pollAPs)
+	if e.cfg.VerifyConvert {
+		if err := convert.Verify(plan); err != nil {
+			panic(fmt.Sprintf("domino: VerifyConvert: %v", err))
+		}
+	}
 
 	first := len(e.slots)
 	ropSlots := 0

@@ -1,10 +1,12 @@
 package exp
 
-// Differential goldens for the schedule-conversion cache: the engine caches
-// converted batches by default, and replay must be bit-identical to a fresh
-// conversion. These tests re-run the DOMINO goldens from spec_diff_test.go
-// with the cache explicitly disabled — same SHA-256 trace hashes, same
-// aggregates — so "caching on AND off" both pin to the pre-refactor bytes.
+// Differential goldens for the schedule-conversion fast paths: the engine
+// caches converted batches and reuses incremental memos by default, and both
+// layers must be bit-identical to a fresh full conversion. These tests re-run
+// the DOMINO goldens from spec_diff_test.go across all four mode
+// combinations — {cache on/off} × {incremental on/off} — expecting the same
+// SHA-256 trace hashes and aggregates, so every fast path pins to the
+// pre-refactor bytes.
 
 import (
 	"bytes"
@@ -19,98 +21,125 @@ import (
 	"repro/internal/topo"
 )
 
-// noCache disables the conversion cache on a DOMINO scenario.
-func noCache(c *domino.Config) { c.NoConvertCache = true }
+// convertModes is the {cache on/off} × {incremental on/off} matrix. The
+// all-on combination is the engine default the base goldens already pin; it
+// rides along here so one table proves all four.
+var convertModes = []struct {
+	name           string
+	noCache, noInc bool
+}{
+	{"cache+incremental", false, false},
+	{"cache-only", false, true},
+	{"incremental-only", true, false},
+	{"neither", true, true},
+}
 
-func TestDominoGoldenWithCacheDisabled(t *testing.T) {
+func TestDominoGoldenAcrossConvertModes(t *testing.T) {
 	if testing.Short() {
-		t.Skip("two traced 300 ms runs")
+		t.Skip("eight traced 300 ms runs")
 	}
 	g := singleRunGoldens[2] // DOMINO
 	if g.scheme != "DOMINO" {
 		t.Fatalf("golden table reordered: got %s at index 2", g.scheme)
 	}
 
-	// Legacy path: programmatic Scenario with the typed tune hook.
-	var buf bytes.Buffer
-	nd := obs.NewNDJSON(&buf)
-	res := core.Run(core.Scenario{
-		Net:      topo.Figure7(),
-		Downlink: true,
-		Uplink:   true,
-		Scheme:   core.DOMINO,
-		Seed:     g.seed,
-		Duration: 300 * sim.Millisecond,
-		Traffic:  core.Saturated,
-		Tracer:   nd,
+	for _, mode := range convertModes {
+		mode := mode
+		tune := func(c *domino.Config) {
+			c.NoConvertCache = mode.noCache
+			c.NoIncremental = mode.noInc
+		}
+		t.Run(mode.name, func(t *testing.T) {
+			// Legacy path: programmatic Scenario with the typed tune hook.
+			var buf bytes.Buffer
+			nd := obs.NewNDJSON(&buf)
+			res := core.Run(core.Scenario{
+				Net:      topo.Figure7(),
+				Downlink: true,
+				Uplink:   true,
+				Scheme:   core.DOMINO,
+				Seed:     g.seed,
+				Duration: 300 * sim.Millisecond,
+				Traffic:  core.Saturated,
+				Tracer:   nd,
 
-		TuneDomino: noCache,
-	})
-	if err := nd.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	if got := sha(buf.Bytes()); got != g.traceSHA {
-		t.Errorf("cache-off legacy trace hash %s != golden %s", got, g.traceSHA)
-	}
-	if got := fmt.Sprintf("%.6f", res.AggregateMbps); got != g.aggregate {
-		t.Errorf("cache-off legacy aggregate %s != golden %s", got, g.aggregate)
-	}
+				TuneDomino: tune,
+			})
+			if err := nd.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if got := sha(buf.Bytes()); got != g.traceSHA {
+				t.Errorf("legacy trace hash %s != golden %s", got, g.traceSHA)
+			}
+			if got := fmt.Sprintf("%.6f", res.AggregateMbps); got != g.aggregate {
+				t.Errorf("legacy aggregate %s != golden %s", got, g.aggregate)
+			}
 
-	// Spec path: BuildScenario + RunScenario, tune hook applied like a CLI
-	// -no-convert-cache flag would be.
-	sc, err := core.BuildScenario(spec.Spec{
-		Scheme:   g.scheme,
-		Topology: spec.Topology{Kind: "fig7"},
-		Seed:     g.seed,
-		Duration: spec.Duration(300 * sim.Millisecond),
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	sc.TuneDomino = noCache
-	var buf2 bytes.Buffer
-	nd2 := obs.NewNDJSON(&buf2)
-	sc.Tracer = nd2
-	res2, err := core.RunScenario(sc)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := nd2.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	if got := sha(buf2.Bytes()); got != g.traceSHA {
-		t.Errorf("cache-off spec trace hash %s != golden %s", got, g.traceSHA)
-	}
-	if got := fmt.Sprintf("%.6f", res2.AggregateMbps); got != g.aggregate {
-		t.Errorf("cache-off spec aggregate %s != golden %s", got, g.aggregate)
+			// Spec path: BuildScenario + RunScenario, tune hook applied like
+			// the CLI -no-convert-cache / -no-incremental flags would be.
+			sc, err := core.BuildScenario(spec.Spec{
+				Scheme:   g.scheme,
+				Topology: spec.Topology{Kind: "fig7"},
+				Seed:     g.seed,
+				Duration: spec.Duration(300 * sim.Millisecond),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.TuneDomino = tune
+			var buf2 bytes.Buffer
+			nd2 := obs.NewNDJSON(&buf2)
+			sc.Tracer = nd2
+			res2, err := core.RunScenario(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := nd2.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if got := sha(buf2.Bytes()); got != g.traceSHA {
+				t.Errorf("spec trace hash %s != golden %s", got, g.traceSHA)
+			}
+			if got := fmt.Sprintf("%.6f", res2.AggregateMbps); got != g.aggregate {
+				t.Errorf("spec aggregate %s != golden %s", got, g.aggregate)
+			}
+		})
 	}
 }
 
-// TestFig14GoldenWithCacheDisabled pins the experiment-harness output with
-// the conversion cache off: identical merged NDJSON trace and gain-CDF CSV as
-// the cached default (the goldens in TestFig14MatchesPreRefactorGolden).
-func TestFig14GoldenWithCacheDisabled(t *testing.T) {
+// TestFig14GoldenAcrossConvertModes pins the experiment-harness output in
+// every conversion mode: identical merged NDJSON trace and gain-CDF CSV as
+// the all-on default (the goldens in TestFig14MatchesPreRefactorGolden).
+func TestFig14GoldenAcrossConvertModes(t *testing.T) {
 	if testing.Short() {
-		t.Skip("multi-run traced Fig 14")
+		t.Skip("multi-run traced Fig 14 × 4 modes")
 	}
 	const (
 		goldenTraceSHA = "86f75ad8eaf3653ca946b01a3d415d7fb7ff49a0934da9cd10c51c507741dd55"
 		goldenCSVSHA   = "24b473bfabef37b040796678a1621ec2593e47c4942780c40424f3703bf3de72"
 	)
-	var trace bytes.Buffer
-	o := fig14TraceOpts(1)
-	o.TraceSink = &trace
-	o.TuneDomino = noCache
-	r := must(Fig14(o))
-	if got := sha(trace.Bytes()); got != goldenTraceSHA {
-		t.Errorf("cache-off Fig 14 trace hash %s != golden %s (%d bytes)",
-			got, goldenTraceSHA, trace.Len())
-	}
-	var csv bytes.Buffer
-	if err := r.CSV(&csv); err != nil {
-		t.Fatal(err)
-	}
-	if got := sha(csv.Bytes()); got != goldenCSVSHA {
-		t.Errorf("cache-off Fig 14 CSV hash %s != golden %s", got, goldenCSVSHA)
+	for _, mode := range convertModes {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			var trace bytes.Buffer
+			o := fig14TraceOpts(1)
+			o.TraceSink = &trace
+			o.TuneDomino = func(c *domino.Config) {
+				c.NoConvertCache = mode.noCache
+				c.NoIncremental = mode.noInc
+			}
+			r := must(Fig14(o))
+			if got := sha(trace.Bytes()); got != goldenTraceSHA {
+				t.Errorf("Fig 14 trace hash %s != golden %s (%d bytes)",
+					got, goldenTraceSHA, trace.Len())
+			}
+			var csv bytes.Buffer
+			if err := r.CSV(&csv); err != nil {
+				t.Fatal(err)
+			}
+			if got := sha(csv.Bytes()); got != goldenCSVSHA {
+				t.Errorf("Fig 14 CSV hash %s != golden %s", got, goldenCSVSHA)
+			}
+		})
 	}
 }

@@ -10,6 +10,8 @@ package spec
 import (
 	"encoding/json"
 	"fmt"
+	"reflect"
+	"sort"
 	"strings"
 
 	"repro/internal/phy"
@@ -196,11 +198,78 @@ func (s Spec) Validate() error {
 		if err := json.Unmarshal(s.SchemeConfig, &probe); err != nil {
 			return fmt.Errorf("spec: scheme_config must be a JSON object: %v", err)
 		}
+		if err := s.validateSchemeKeys(probe); err != nil {
+			return err
+		}
 		if err := s.validateScheduler(probe); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// validateSchemeKeys checks every scheme_config key against the exported
+// fields of the scheme's config struct (the catalog the spec layer documents:
+// keys are Go field names, matched case-insensitively like encoding/json).
+// json.Unmarshal silently drops unknown keys at run time, so a typo would
+// otherwise no-op; this makes it a Validate-time error instead.
+func (s Spec) validateSchemeKeys(probe map[string]any) error {
+	d, ok := scheme.Lookup(s.Scheme)
+	if !ok {
+		return nil // unknown scheme already reported
+	}
+	t := reflect.TypeOf(d.DefaultConfig(scheme.Params{}))
+	for t != nil && t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	if t == nil || t.Kind() != reflect.Struct {
+		return nil // opaque config: nothing to check against
+	}
+	fields := map[string]string{} // lower-cased → canonical spelling
+	collectConfigFields(t, fields)
+	for k := range probe {
+		if _, ok := fields[strings.ToLower(k)]; ok {
+			continue
+		}
+		names := make([]string, 0, len(fields))
+		for _, n := range fields {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("spec: scheme_config: %s config has no field %q (fields: %s)",
+			d.Name, k, strings.Join(names, ", "))
+	}
+	return nil
+}
+
+// collectConfigFields gathers the JSON-addressable field names of a config
+// struct, recursing into embedded structs the way encoding/json flattens
+// them. A json tag overrides the field name; "-" hides the field.
+func collectConfigFields(t reflect.Type, out map[string]string) {
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		if f.Anonymous {
+			ft := f.Type
+			for ft.Kind() == reflect.Pointer {
+				ft = ft.Elem()
+			}
+			if ft.Kind() == reflect.Struct && f.Tag.Get("json") == "" {
+				collectConfigFields(ft, out)
+				continue
+			}
+		}
+		name := f.Name
+		if tag, _, _ := strings.Cut(f.Tag.Get("json"), ","); tag != "" {
+			if tag == "-" {
+				continue
+			}
+			name = tag
+		}
+		out[strings.ToLower(name)] = name
+	}
 }
 
 // validateScheduler checks a DOMINO scheme_config's scheduler name against

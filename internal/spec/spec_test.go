@@ -162,8 +162,25 @@ func TestValidateCatalog(t *testing.T) {
 			s.Scheme = "domino"
 			s.SchemeConfig = json.RawMessage(`{"scheduler": 3}`)
 		}, "must be a string"},
-		{"non-domino scheduler key not checked", func(s *spec.Spec) {
+		{"non-domino scheduler key rejected by field catalog", func(s *spec.Spec) {
+			// dcf.Config has no Scheduler field, so the key-catalog check
+			// fires before the DOMINO-only scheduler-name check would.
 			s.SchemeConfig = json.RawMessage(`{"scheduler": "sjf"}`)
+		}, `DCF config has no field "scheduler"`},
+		{"domino convert knobs ok", func(s *spec.Spec) {
+			s.Scheme = "domino"
+			s.SchemeConfig = json.RawMessage(`{"NoIncremental": true, "ConvertCacheCap": 256, "VerifyConvert": true}`)
+		}, ""},
+		{"domino knob case-insensitive", func(s *spec.Spec) {
+			s.Scheme = "domino"
+			s.SchemeConfig = json.RawMessage(`{"noconvertcache": true}`)
+		}, ""},
+		{"domino misspelled knob", func(s *spec.Spec) {
+			s.Scheme = "domino"
+			s.SchemeConfig = json.RawMessage(`{"NoIncrementl": true}`)
+		}, `DOMINO config has no field "NoIncrementl"`},
+		{"dcf knob ok", func(s *spec.Spec) {
+			s.SchemeConfig = json.RawMessage(`{"CWMin": 8}`)
 		}, ""},
 	}
 	for _, tc := range cases {

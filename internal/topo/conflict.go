@@ -16,6 +16,17 @@ type ConflictGraph struct {
 	cfg   phy.Config
 	rate  phy.Rate
 	adj   [][]bool
+	// adjBits mirrors adj as a bitset (row-major, 64 links per word) so the
+	// hot independent-set scan touches one word per 64 candidates instead of
+	// one bool per pair.
+	adjBits  [][]uint64
+	adjWords int
+	// apConflict caches APConflict for every AP pair (indexed through
+	// apIndex), precomputed from per-AP link masks at construction — the
+	// converter's ROP-sharing checks would otherwise rescan all link pairs
+	// on every call.
+	apIndex    map[phy.NodeID]int
+	apConflict [][]bool
 }
 
 // NewConflictGraph computes the conflict graph for the given links at the
@@ -39,7 +50,63 @@ func NewConflictGraph(net *Network, links []*Link, cfg phy.Config, rate phy.Rate
 			g.adj[j][i] = c
 		}
 	}
+	g.adjWords = (n + 63) / 64
+	g.adjBits = make([][]uint64, n)
+	rows := make([]uint64, n*g.adjWords)
+	for i := 0; i < n; i++ {
+		g.adjBits[i] = rows[i*g.adjWords : (i+1)*g.adjWords]
+		for j := 0; j < n; j++ {
+			if g.adj[i][j] {
+				g.adjBits[i][j>>6] |= 1 << (uint(j) & 63)
+			}
+		}
+	}
+	g.buildAPConflict()
 	return g
+}
+
+// buildAPConflict precomputes the AP-pair conflict relation from per-AP link
+// masks: ap1 and ap2 conflict when any link of ap1 is adjacent to any link of
+// ap2 in the conflict graph.
+func (g *ConflictGraph) buildAPConflict() {
+	apLinks := map[phy.NodeID][]int{}
+	var aps []phy.NodeID
+	for i, l := range g.Links {
+		if _, ok := apLinks[l.AP]; !ok {
+			aps = append(aps, l.AP)
+		}
+		apLinks[l.AP] = append(apLinks[l.AP], i)
+	}
+	g.apIndex = make(map[phy.NodeID]int, len(aps))
+	for i, ap := range aps {
+		g.apIndex[ap] = i
+	}
+	mask := make([][]uint64, len(aps))
+	for i, ap := range aps {
+		mask[i] = make([]uint64, g.adjWords)
+		for _, li := range apLinks[ap] {
+			mask[i][li>>6] |= 1 << (uint(li) & 63)
+		}
+	}
+	g.apConflict = make([][]bool, len(aps))
+	for i, ap := range aps {
+		g.apConflict[i] = make([]bool, len(aps))
+		for j := range aps {
+			conflict := false
+			for _, li := range apLinks[ap] {
+				for w, bits := range mask[j] {
+					if g.adjBits[li][w]&bits != 0 {
+						conflict = true
+						break
+					}
+				}
+				if conflict {
+					break
+				}
+			}
+			g.apConflict[i][j] = conflict
+		}
+	}
 }
 
 // corrupts reports whether link a's exchange breaks any part of link b's:
@@ -172,20 +239,12 @@ func (g *ConflictGraph) TriggerSNR(l *Link, n phy.NodeID) float64 {
 // APConflict reports whether any link of ap1 conflicts with any link of ap2,
 // the condition under which two APs may NOT share an ROP slot (paper §3.3).
 func (g *ConflictGraph) APConflict(ap1, ap2 phy.NodeID) bool {
-	for i, li := range g.Links {
-		if li.AP != ap1 {
-			continue
-		}
-		for j, lj := range g.Links {
-			if lj.AP != ap2 {
-				continue
-			}
-			if g.adj[i][j] {
-				return true
-			}
-		}
+	i, ok1 := g.apIndex[ap1]
+	j, ok2 := g.apIndex[ap2]
+	if !ok1 || !ok2 {
+		return false // an AP with no links conflicts with nothing
 	}
-	return false
+	return g.apConflict[i][j]
 }
 
 // MaximalIndependentSet greedily grows an independent set containing the seed
@@ -193,17 +252,38 @@ func (g *ConflictGraph) APConflict(ap1, ap2 phy.NodeID) bool {
 // given order. It returns link IDs. This implements both the RAND scheduler's
 // slot construction and the converter's fake-link maximal cover.
 func (g *ConflictGraph) MaximalIndependentSet(seed []int, order []int) []int {
-	set := append([]int(nil), seed...)
-	for _, cand := range order {
-		ok := true
-		for _, s := range set {
-			if cand == s || g.adj[cand][s] {
-				ok = false
-				break
-			}
+	return g.MaximalIndependentSetInto(nil, nil, seed, order)
+}
+
+// MaximalIndependentSetInto is MaximalIndependentSet with caller-provided
+// scratch: set receives the result (reset to set[:0]) and blocked must hold
+// at least (len(Links)+63)/64 words (nil allocates). The greedy outcome is
+// identical to MaximalIndependentSet; the bitset just replaces the
+// candidate-vs-set rescan with one word test per candidate.
+func (g *ConflictGraph) MaximalIndependentSetInto(set []int, blocked []uint64, seed []int, order []int) []int {
+	if blocked == nil {
+		blocked = make([]uint64, g.adjWords)
+	} else {
+		blocked = blocked[:g.adjWords]
+		for i := range blocked {
+			blocked[i] = 0
 		}
-		if ok {
-			set = append(set, cand)
+	}
+	set = append(set[:0], seed...)
+	for _, s := range set {
+		blocked[s>>6] |= 1 << (uint(s) & 63)
+		for w, bits := range g.adjBits[s] {
+			blocked[w] |= bits
+		}
+	}
+	for _, cand := range order {
+		if blocked[cand>>6]&(1<<(uint(cand)&63)) != 0 {
+			continue
+		}
+		set = append(set, cand)
+		blocked[cand>>6] |= 1 << (uint(cand) & 63)
+		for w, bits := range g.adjBits[cand] {
+			blocked[w] |= bits
 		}
 	}
 	return set

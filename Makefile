@@ -48,6 +48,7 @@ bench:
 bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkKernel' -benchmem -benchtime=1000x ./internal/sim
 	$(GO) test -run '^$$' -bench 'BenchmarkMetric' -benchmem -benchtime=1000x ./internal/gold
+	$(GO) run ./cmd/benchreport -obs -max-hist-ns 200 -out /tmp/BENCH_obs_ci.json
 
 # Event-kernel + ROP FFT gate at a quick configuration: exits non-zero when
 # any pooled hot path (kernel At/After/fire, planned FFT256, poll round)

@@ -88,6 +88,7 @@ func main() {
 
 		minSteadyHit  = flag.Float64("min-steady-hit", 0, "with -convert: exit 1 when the steady-state cache hit rate is below this percentage (0 disables)")
 		maxNsPerBatch = flag.Float64("max-convert-ns", 0, "with -convert: exit 1 when full-mode ns/batch exceeds this budget (0 disables)")
+		maxHistNs     = flag.Float64("max-hist-ns", 0, "with -obs: exit 1 when LogHist.Record exceeds this ns/op budget (0 disables)")
 	)
 	flag.Parse()
 
@@ -95,7 +96,7 @@ func main() {
 		if *out == "" {
 			*out = "BENCH_obs.json"
 		}
-		obsReportMain(*out, *baseline, *strict)
+		obsReportMain(*out, *baseline, *strict, *maxHistNs)
 		return
 	}
 	if *kernelMode {
@@ -212,8 +213,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: fig14 speedup %.2fx, curve speedup %.2fx, Metric %.0f ns/op %d allocs/op\n",
-		*out, rep.Fig14.Speedup, rep.DetectionCurve.Speedup, rep.Metric.NsPerOp, rep.Metric.AllocsPerOp)
+	fmt.Printf("wrote %s [gomaxprocs=%d num_cpu=%d]: fig14 speedup %.2fx, curve speedup %.2fx, Metric %.0f ns/op %d allocs/op\n",
+		*out, rep.GoMaxProcs, rep.NumCPU,
+		rep.Fig14.Speedup, rep.DetectionCurve.Speedup, rep.Metric.NsPerOp, rep.Metric.AllocsPerOp)
 }
 
 // obsPair reports one hot path with observability disabled (the default) and
@@ -246,6 +248,16 @@ type obsReport struct {
 	// comparison.
 	MetricControl   microBench `json:"metric_control"`
 	ControlDeltaPct float64    `json:"control_delta_pct"`
+	// Hist is LogHist.Record on a cycling sample stream — the per-packet
+	// histogram cost paid at every enqueue/dequeue/delivery when -metrics is
+	// on. Must stay allocation-free (hard gate) and under -max-hist-ns when a
+	// budget is set.
+	Hist microBench `json:"loghist_record"`
+	// Span is the engines' causal-span hot path — a nil-guarded Spans.Next
+	// plus a chain-depth Record, exactly the noteTrigger shape. Disabled is
+	// the nil state untraced runs execute: one branch, zero allocations (hard
+	// gate).
+	Span obsPair `json:"span_path"`
 	// BaselineDetectNs is BENCH_parallel.json's correlator_detect ns/op
 	// (zero when no baseline file was readable); BaselineDeltaPct compares
 	// the disabled Detect path against it. Informational: it conflates code
@@ -303,7 +315,32 @@ func minRounds(rounds int, fns ...func() testing.BenchmarkResult) []testing.Benc
 	return out
 }
 
-func obsReportMain(out, baselinePath string, strict bool) {
+// spanSink defeats dead-code elimination in benchSpanPath.
+var spanSink int64
+
+// benchSpanPath mirrors the engines' trigger hot path (domino.noteTrigger):
+// a nil-guarded span allocation plus a chain-depth histogram record. With
+// observability off both pointers are nil and the path must cost two branches
+// and no allocations.
+func benchSpanPath(sp *obs.Spans, h *obs.LogHist) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		var span int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			depth := int64(i)
+			if sp != nil {
+				span = sp.Next()
+			}
+			if h != nil {
+				h.Record(depth)
+			}
+		}
+		spanSink = span
+	})
+}
+
+func obsReportMain(out, baselinePath string, strict bool, maxHistNs float64) {
 	rep := obsReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 
 	fmt.Fprintln(os.Stderr, "kernel event loop, hook disabled/enabled...")
@@ -360,8 +397,48 @@ func obsReportMain(out, baselinePath string, strict bool) {
 	rep.Detect = pair(dr[0], dr[1])
 	rep.MetricControl = micro(dr[2])
 
+	fmt.Fprintln(os.Stderr, "histogram Record and span path, disabled/enabled...")
+	var hist obs.LogHist
+	hr := minRounds(3,
+		func() testing.BenchmarkResult {
+			return testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					// Cycle the sample so every bucket band is exercised.
+					hist.Record(int64(i) & 0xfffff)
+				}
+			})
+		},
+		func() testing.BenchmarkResult { return benchSpanPath(nil, nil) },
+		func() testing.BenchmarkResult {
+			var h obs.LogHist
+			return benchSpanPath(obs.NewSpans(), &h)
+		},
+	)
+	rep.Hist = micro(hr[0])
+	rep.Span = pair(hr[1], hr[2])
+
 	// Hard gates: the disabled paths must add zero allocations.
 	fail := false
+	if rep.Hist.AllocsPerOp != 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: LogHist.Record allocates %d/op, want 0\n", rep.Hist.AllocsPerOp)
+		fail = true
+	}
+	if maxHistNs > 0 && rep.Hist.NsPerOp > maxHistNs {
+		fmt.Fprintf(os.Stderr, "FAIL: LogHist.Record %.2f ns/op exceeds the -max-hist-ns budget %.0f\n",
+			rep.Hist.NsPerOp, maxHistNs)
+		fail = true
+	}
+	if rep.Span.Disabled.AllocsPerOp != 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: disabled span path allocates %d/op, want 0\n",
+			rep.Span.Disabled.AllocsPerOp)
+		fail = true
+	}
+	if rep.Span.Enabled.AllocsPerOp != 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: enabled span path allocates %d/op, want 0 (Spans.Next and Record are both flat)\n",
+			rep.Span.Enabled.AllocsPerOp)
+		fail = true
+	}
 	if rep.Detect.Disabled.AllocsPerOp != 0 {
 		fmt.Fprintf(os.Stderr, "FAIL: Detect allocates %d/op with tracing disabled, want 0\n",
 			rep.Detect.Disabled.AllocsPerOp)
@@ -415,11 +492,12 @@ func obsReportMain(out, baselinePath string, strict bool) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: kernel %.1f→%.1f ns/op (%+.1f%%), Detect %.1f→%.1f ns/op (%+.1f%%), control delta %+.1f%%\n",
-		out,
+	fmt.Printf("wrote %s [gomaxprocs=%d num_cpu=%d]: kernel %.1f→%.1f ns/op (%+.1f%%), Detect %.1f→%.1f ns/op (%+.1f%%), control delta %+.1f%%, hist %.1f ns/op, span %.1f→%.1f ns/op\n",
+		out, rep.GoMaxProcs, rep.NumCPU,
 		rep.Kernel.Disabled.NsPerOp, rep.Kernel.Enabled.NsPerOp, rep.Kernel.EnabledOverheadPct,
 		rep.Detect.Disabled.NsPerOp, rep.Detect.Enabled.NsPerOp, rep.Detect.EnabledOverheadPct,
-		rep.ControlDeltaPct)
+		rep.ControlDeltaPct,
+		rep.Hist.NsPerOp, rep.Span.Disabled.NsPerOp, rep.Span.Enabled.NsPerOp)
 	if fail {
 		os.Exit(1)
 	}

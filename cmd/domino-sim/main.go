@@ -59,17 +59,27 @@ func main() {
 		verifyCvt = flag.Bool("verify-convert", false, "run convert.Verify on every DOMINO plan (debug; panics on violation)")
 		traceFile = flag.String("tracefile", "", "write the NDJSON observability trace to this file (- for stdout; overrides the spec's obs.trace_file)")
 		metrics   = flag.Bool("metrics", false, "collect and print run metrics (counters, airtime breakdown)")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address (e.g. localhost:6060)")
+		noSpans   = flag.Bool("no-spans", false, "trace without causal span annotations (drops sp/pa fields)")
+		pprofAddr = flag.String("pprof", "", "serve the debug endpoint on this address (e.g. localhost:6060): pprof, runtime metrics, and — with -metrics / a trace — live /debug/metrics and /debug/trace")
 	)
 	flag.Parse()
 
+	// The debug server is built up-front but only bound after the scenario's
+	// live sources (metrics publisher, trace hub) are attached.
+	var dbg *obs.DebugServer
 	if *pprofAddr != "" {
-		addr, err := obs.ServeDebug(*pprofAddr)
+		dbg = obs.NewDebugServer()
+	}
+	serveDebug := func() {
+		if dbg == nil {
+			return
+		}
+		addr, err := dbg.Serve(*pprofAddr)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
 			os.Exit(2)
 		}
-		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/  runtime: http://%s/debug/runtime\n", addr, addr)
+		fmt.Fprintf(os.Stderr, "debug: http://%s/debug/pprof/  /debug/runtime  /debug/metrics  /debug/trace\n", addr)
 	}
 
 	var sp spec.Spec
@@ -107,6 +117,7 @@ func main() {
 		if *trace || *traceFile != "" {
 			fmt.Fprintln(os.Stderr, "-trace/-tracefile are ignored with -reps > 1 (interleaved output)")
 		}
+		serveDebug()
 		runReps(sp, d.Name, *reps, *workers)
 		return
 	}
@@ -148,6 +159,7 @@ func main() {
 		tf = *traceFile
 	}
 	var ndjson *obs.NDJSON
+	var hub *obs.LiveHub
 	if tf != "" {
 		w := os.Stdout
 		if tf != "-" {
@@ -159,12 +171,28 @@ func main() {
 			defer f.Close()
 			w = f
 		}
-		ndjson = obs.NewNDJSON(w)
+		sink := obs.Sink(obs.WriterSink{W: w})
+		if dbg != nil {
+			// Tee every flushed chunk into the live hub so /debug/trace
+			// streams the run as it happens.
+			hub = obs.NewLiveHub()
+			dbg.AttachLive(hub)
+			sink = obs.MultiSink{sink, hub}
+		}
+		ndjson = obs.NewNDJSONTo(sink)
 		sc.Tracer = ndjson
 	}
 	if *metrics && sc.Metrics == nil {
 		sc.Metrics = obs.NewMetrics()
 	}
+	if *noSpans {
+		sc.NoSpans = true
+	}
+	if dbg != nil && sc.Metrics != nil {
+		sc.Live = obs.NewMetricsPublisher()
+		dbg.AttachMetrics(sc.Live)
+	}
+	serveDebug()
 
 	res, err := core.RunScenario(sc)
 	if err != nil {
@@ -177,6 +205,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "trace write: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if hub != nil {
+		_ = hub.Close() // end-of-stream for live /debug/trace subscribers
 	}
 
 	fmt.Printf("scheme=%s topo=%s traffic=%s duration=%v seed=%d\n",

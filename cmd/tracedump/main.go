@@ -54,6 +54,9 @@ type run struct {
 	// incremental-layer reuse.
 	convCacheOcc, convCacheEvict  int64
 	convCoverReuse, convPairReuse int64
+
+	// chains rebuilds the causal span forest (sp/pa annotations).
+	chains *chainAnalyzer
 }
 
 func main() {
@@ -112,6 +115,10 @@ func (r *run) observe(rec obs.Record) {
 	if int(rec.Kind) < len(r.counts) {
 		r.counts[rec.Kind]++
 	}
+	if r.chains == nil {
+		r.chains = newChainAnalyzer()
+	}
+	r.chains.Observe(rec)
 	switch rec.Kind {
 	case obs.KindTxStart:
 		r.air.Start(obs.BucketOfName(rec.Aux), rec.At)
@@ -224,6 +231,10 @@ func (r *run) print(w io.Writer, idx, slots int) {
 	}
 
 	r.printConvert(w)
+
+	if r.chains != nil {
+		r.chains.Report().write(w, 8)
+	}
 
 	if slots > 0 && len(r.slotEvents) > 0 {
 		fmt.Fprintf(w, "slot timeline (first %d slots):\n", slots)

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/mac"
+	"repro/internal/obs"
 	"repro/internal/phy"
 	"repro/internal/sim"
 	"repro/internal/strict"
@@ -81,6 +82,13 @@ type Engine struct {
 	// debug receives node-level trace lines when non-nil (tests only).
 	debug func(phy.NodeID, string)
 
+	// Observability (nil without WireObs): typed epoch records, packet
+	// lifecycle stamps, and causal spans tying scheduled downlinks to the
+	// epoch that planned them.
+	Obs  obs.Tracer
+	life *obs.Run
+	sp   *obs.Spans
+
 	// Counters.
 	Epochs      int
 	AckTimeouts int
@@ -90,6 +98,9 @@ type Engine struct {
 // epochItem is one scheduled downlink transmission.
 type epochItem struct {
 	link *topo.Link
+	// span is the causal span of the epoch that scheduled this item (0 when
+	// spans are off); its transmissions carry it onto the air.
+	span int64
 	// releaseOffset is the wall-clock gate relative to epoch arrival. Rounds
 	// are paced apart only when they conflict across senders — hidden links
 	// share no carrier reference, so only the loose wall clock separates
@@ -149,6 +160,9 @@ func (e *Engine) Enqueue(p *mac.Packet) {
 		e.events.Dropped(p, e.k.Now())
 		return
 	}
+	if e.life != nil {
+		e.life.PacketQueued(p, e.k.Now())
+	}
 	if !p.Link.Downlink {
 		n := e.nodes[p.Link.Sender]
 		if n.st == stIdle {
@@ -183,6 +197,18 @@ func (e *Engine) buildEpoch() {
 		return
 	}
 	rounds := e.sched.Batch(quota, len(e.downlinks)*e.cfg.EpochQuota)
+	var epochSpan int64
+	if e.sp != nil {
+		epochSpan = e.sp.Next()
+	}
+	if e.Obs != nil {
+		rec := obs.Rec(e.k.Now(), obs.KindEpoch)
+		rec.Value = int64(e.epochSeq)
+		rec.Extra = int64(len(rounds))
+		rec.Span = epochSpan
+		rec.OK = true
+		e.Obs.Emit(rec)
+	}
 	perAP := map[phy.NodeID][]epochItem{}
 	offset := sim.Time(0)
 	for r, slot := range rounds {
@@ -191,7 +217,7 @@ func (e *Engine) buildEpoch() {
 		}
 		for _, id := range slot {
 			l := e.g.Links[id]
-			perAP[l.Sender] = append(perAP[l.Sender], epochItem{link: l, releaseOffset: offset})
+			perAP[l.Sender] = append(perAP[l.Sender], epochItem{link: l, releaseOffset: offset, span: epochSpan})
 		}
 	}
 	// Dispatch in deterministic AP order; every scheduled AP owes a

@@ -37,7 +37,8 @@ type node struct {
 	st       state
 	pending  *mac.Packet
 	pendLink *topo.Link
-	fixed    bool // pending transmission uses the fixed scheduled backoff
+	pendSpan int64 // causal span the pending transmission rides on
+	fixed    bool  // pending transmission uses the fixed scheduled backoff
 
 	fireEv    sim.Event
 	fireBase  sim.Time
@@ -98,6 +99,13 @@ func (n *node) serveEpoch() {
 			n.serveEpoch()
 			return
 		}
+		if n.e.life != nil {
+			n.e.life.PacketDequeued(p, n.e.k.Now())
+		}
+		// Scheduled sends ride the epoch's span: the tree shows which epoch
+		// put this packet on the air.
+		p.TxSpan = item.span
+		n.pendSpan = item.span
 		n.pending = p
 		n.pendLink = item.link
 		n.fixed = true
@@ -116,6 +124,13 @@ func (n *node) serveUplink() {
 		l := n.uplinks[(n.rr+i)%len(n.uplinks)]
 		if p := n.e.queues[l.ID].Pop(); p != nil {
 			n.rr = (n.rr + i + 1) % len(n.uplinks)
+			if n.e.life != nil {
+				n.e.life.PacketDequeued(p, n.e.k.Now())
+			}
+			// Contended uplinks have no scheduling cause: the packet's own
+			// span is the attempt.
+			p.TxSpan = p.Span
+			n.pendSpan = p.Span
 			n.pending = p
 			n.pendLink = l
 			n.fixed = false
@@ -198,7 +213,7 @@ func (n *node) fire() {
 	dur := phy.Airtime(p.Bytes, n.e.cfg.Rate)
 	n.e.medium.Transmit(n.id, &phy.Frame{
 		Kind: phy.Data, Dst: n.pendLink.Receiver, Bytes: p.Bytes,
-		Rate: n.e.cfg.Rate, Duration: dur, Payload: p,
+		Rate: n.e.cfg.Rate, Duration: dur, Payload: p, ObsSpan: n.pendSpan,
 	})
 	n.e.k.After(dur, func() {
 		if n.st == stTx {
@@ -229,6 +244,7 @@ func (n *node) FrameReceived(f *phy.Frame, ok bool, _ *phy.SignatureDetection) {
 	switch f.Kind {
 	case phy.Data:
 		p := f.Payload.(*mac.Packet)
+		span := f.ObsSpan
 		n.e.k.After(phy.SIFS, func() {
 			if n.e.medium.Transmitting(n.id) {
 				return
@@ -240,7 +256,7 @@ func (n *node) FrameReceived(f *phy.Frame, ok bool, _ *phy.SignatureDetection) {
 			dur := phy.Airtime(phy.AckBytes, n.e.cfg.Rate)
 			n.e.medium.Transmit(n.id, &phy.Frame{
 				Kind: phy.Ack, Dst: f.Src, Bytes: phy.AckBytes,
-				Rate: n.e.cfg.Rate, Duration: dur, Payload: p,
+				Rate: n.e.cfg.Rate, Duration: dur, Payload: p, ObsSpan: span,
 			})
 			n.e.k.After(dur, func() { n.tryScheduleFire() })
 		})

@@ -4,8 +4,18 @@ import (
 	"fmt"
 
 	"repro/internal/mac"
+	"repro/internal/obs"
 	"repro/internal/scheme"
 )
+
+// WireObs implements scheme.Observable: CENTAUR emits typed epoch records,
+// stamps packet lifecycles, and ties scheduled downlinks to the epoch that
+// planned them via causal spans.
+func (e *Engine) WireObs(run *obs.Run) {
+	e.Obs = run.Tracer()
+	e.life = run
+	e.sp = run.Spans()
+}
 
 func init() {
 	scheme.MustRegister(scheme.Descriptor{

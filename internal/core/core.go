@@ -125,6 +125,15 @@ type Scenario struct {
 	// simulation hot paths pay only their own nil checks.
 	Tracer  obs.Tracer
 	Metrics *obs.Metrics
+
+	// NoSpans turns off causal span allocation (trace records keep their
+	// flat pre-span shape); it only matters when Tracer is set.
+	NoSpans bool
+
+	// Live, when non-nil alongside Metrics, receives decimated metric
+	// snapshots during the run (and a final one), for the debug server's
+	// /debug/metrics endpoint.
+	Live *obs.MetricsPublisher
 }
 
 // schemeName resolves the registry key the scenario selects.
@@ -232,6 +241,12 @@ func RunScenario(s Scenario) (Result, error) {
 	var orun *obs.Run
 	if s.Tracer != nil || s.Metrics != nil {
 		orun = obs.NewRun(s.Tracer, s.Metrics).BindClock(k.Now)
+		if s.NoSpans {
+			orun.DisableSpans()
+		}
+		if s.Live != nil {
+			orun.SetPublisher(s.Live)
+		}
 		k.OnEvent(orun.KernelHook())
 		medium.SetProbe(orun)
 		hub.Add(orun)
@@ -270,7 +285,7 @@ func RunScenario(s Scenario) (Result, error) {
 	}
 	if orun != nil {
 		if o, ok := engine.(scheme.Observable); ok {
-			o.WireObs(s.Tracer, orun.QueueSampler())
+			o.WireObs(orun)
 		}
 	}
 	if s.Metrics != nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/domino"
 	"repro/internal/obs"
 	"repro/internal/phy"
 	"repro/internal/spec"
@@ -69,6 +70,10 @@ func BuildScenario(sp spec.Spec) (Scenario, error) {
 	}
 	if sp.Obs.Metrics {
 		sc.Metrics = obs.NewMetrics()
+	}
+	sc.NoSpans = sp.Obs.NoSpans
+	if sp.Obs.ConvertTrace {
+		sc.TuneDomino = func(c *domino.Config) { c.ConvertTrace = true }
 	}
 	return sc, nil
 }

@@ -67,6 +67,9 @@ type Engine struct {
 	// Obs, when non-nil, receives backoff draws and ACK timeouts. Set it
 	// before Start; nil (the default) costs one branch per emission site.
 	Obs obs.Tracer
+	// life, when non-nil, is the per-run packet-lifecycle sink (enqueue /
+	// dequeue stamps and span assignment). Wired by WireObs.
+	life *obs.Run
 }
 
 // EnableQueueSampling installs fn as the depth observer on every link queue,
@@ -160,6 +163,9 @@ func (e *Engine) Enqueue(p *mac.Packet) {
 		e.events.Dropped(p, e.k.Now())
 		return
 	}
+	if e.life != nil {
+		e.life.PacketQueued(p, e.k.Now())
+	}
 	n := e.nodes[p.Link.Sender]
 	if n.st == stIdle {
 		n.serveNext()
@@ -185,6 +191,9 @@ func (n *node) serveNext() {
 		l := n.links[(n.rr+i)%len(n.links)]
 		if p := n.e.queues[l.ID].Pop(); p != nil {
 			n.rr = (n.rr + i + 1) % len(n.links)
+			if n.e.life != nil {
+				n.e.life.PacketDequeued(p, n.e.k.Now())
+			}
 			n.pending = p
 			n.startContention()
 			return
@@ -201,6 +210,7 @@ func (n *node) startContention() {
 		rec.Node = int(n.id)
 		rec.Value = int64(n.counter)
 		rec.Extra = int64(n.cw)
+		rec.Parent = n.pending.Span
 		n.e.Obs.Emit(rec)
 	}
 	n.st = stBackoff
@@ -261,10 +271,11 @@ func (n *node) fire() {
 	}
 	p := n.pending
 	n.st = stTx
+	p.TxSpan = p.Span // DCF has no aggregate; the packet's span is the attempt
 	dur := n.e.dataAirtime(p.Bytes)
 	n.e.medium.Transmit(n.id, &phy.Frame{
 		Kind: phy.Data, Dst: p.Link.Receiver, Bytes: p.Bytes,
-		Rate: n.e.cfg.Rate, Duration: dur, Payload: p,
+		Rate: n.e.cfg.Rate, Duration: dur, Payload: p, ObsSpan: p.Span,
 	})
 	n.e.k.After(dur, func() {
 		if n.st == stTx {
@@ -321,7 +332,7 @@ func (n *node) sendAck(f *phy.Frame) {
 		dur := n.e.ackAirtime()
 		n.e.medium.Transmit(n.id, &phy.Frame{
 			Kind: phy.Ack, Dst: f.Src, Bytes: phy.AckBytes,
-			Rate: n.e.cfg.AckRate, Duration: dur, Payload: p,
+			Rate: n.e.cfg.AckRate, Duration: dur, Payload: p, ObsSpan: p.Span,
 		})
 		n.e.k.After(dur, func() { n.tryScheduleFire() })
 	})
@@ -359,6 +370,7 @@ func (n *node) ackTimeout() {
 		rec := obs.Rec(n.e.k.Now(), obs.KindAckTimeout)
 		rec.Node = int(n.id)
 		rec.Value = int64(n.pending.Retries)
+		rec.Parent = n.pending.Span
 		n.e.Obs.Emit(rec)
 	}
 	if n.pending.Retries > mac.RetryLimit {

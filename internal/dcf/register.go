@@ -8,13 +8,13 @@ import (
 	"repro/internal/scheme"
 )
 
-// WireObs implements scheme.Observable: the run pipeline hands the engine
-// its trace sink and the per-link queue-depth sampler in one call.
-func (e *Engine) WireObs(t obs.Tracer, queueSampler func(link, depth int)) {
-	e.Obs = t
-	if queueSampler != nil {
-		e.EnableQueueSampling(queueSampler)
-	}
+// WireObs implements scheme.Observable: the engine pulls the trace sink and
+// packet-lifecycle hooks from the per-run observability state and installs
+// the queue-depth sampler on its link queues.
+func (e *Engine) WireObs(run *obs.Run) {
+	e.Obs = run.Tracer()
+	e.life = run
+	e.EnableQueueSampling(run.QueueSampler())
 }
 
 func init() {

@@ -61,6 +61,12 @@ type apNode struct {
 	ackEv        sim.Event
 
 	watchdog sim.Event
+
+	// refSpan/depth track the causal span of this AP's current time
+	// reference (last trigger, own slot, or own broadcast) and its
+	// trigger-cascade depth; both stay zero when spans are disabled.
+	refSpan int64
+	depth   int
 }
 
 // receiveSchedule integrates newly arrived slots (wired dispatch callback).
@@ -137,6 +143,8 @@ func (ap *apNode) armWatchdog() {
 	ap.watchdog = ap.e.k.After(d, func() {
 		ap.watchdog = sim.Event{}
 		ap.e.SelfStarts++
+		// The chain died: this self-start roots a fresh trigger cascade.
+		ap.refSpan, ap.depth = 0, 0
 		ap.e.trace(TraceEvent{Slot: -1, Kind: "selfstart", Node: ap.id})
 		if ap.armed == nil {
 			ap.execNext(0, ap.ptr+1)
@@ -185,7 +193,7 @@ func (ap *apNode) arm(act action, delay sim.Time) {
 func (ap *apNode) onTrigger(pl *phy.SignaturePayload) {
 	e := ap.e
 	ap.armWatchdog()
-	e.trace(TraceEvent{Slot: pl.SlotHint, Kind: "trigger", Node: ap.id, OK: true})
+	ap.refSpan, ap.depth = e.noteTrigger(ap.id, pl)
 	hint := pl.SlotHint
 	delay := sim.Time(0)
 	if pl.ROP {
@@ -260,17 +268,26 @@ func (ap *apNode) sendData(act action) {
 		e.Misalign.ObserveGroup(act.slot, now, e.refGroup[ap.id])
 	}
 	bundle := e.popBundle(act.link.ID)
+	var slotSpan int64
+	if e.sp != nil {
+		slotSpan = e.sp.Next()
+		for _, p := range bundle {
+			p.TxSpan = slotSpan
+		}
+	}
 	m := &meta{pkts: bundle, slot: act.slot, clientSigs: clientSigs, rop: ropFlag,
+		span: slotSpan, depth: ap.depth,
 		selfNext: e.clientSenderInSlot(act.link.Receiver, act.slot+1),
 		nextWait: e.gapAfter(act.slot)}
 	if bundle != nil {
 		e.DataSends += len(bundle)
-		e.trace(TraceEvent{Slot: act.slot, Kind: "data", Node: ap.id, Link: act.link, OK: true})
+		e.trace(TraceEvent{Slot: act.slot, Kind: "data", Node: ap.id, Link: act.link, OK: true,
+			Span: slotSpan, Parent: ap.refSpan})
 		dur := e.cfg.dataAirtime()
 		e.medium.Transmit(ap.id, &phy.Frame{
 			Kind: phy.Data, Dst: act.link.Receiver, Bytes: e.cfg.VirtualBytes,
 			Rate: e.cfg.Rate, Duration: dur, Payload: m,
-			NAV: e.navUntil(act.slot, now),
+			NAV: e.navUntil(act.slot, now), ObsSpan: slotSpan,
 		})
 		ap.inflight = bundle
 		ap.inflightLink = act.link
@@ -278,12 +295,16 @@ func (ap *apNode) sendData(act action) {
 		ap.ackEv = e.k.After(timeout, func() { ap.ackTimeout(act.link) })
 	} else {
 		e.FakeSends++
-		e.trace(TraceEvent{Slot: act.slot, Kind: "fake", Node: ap.id, Link: act.link, OK: true})
+		e.trace(TraceEvent{Slot: act.slot, Kind: "fake", Node: ap.id, Link: act.link, OK: true,
+			Span: slotSpan, Parent: ap.refSpan})
 		e.medium.Transmit(ap.id, &phy.Frame{
 			Kind: phy.FakeHeader, Dst: act.link.Receiver, Bytes: 0,
 			Rate: e.cfg.Rate, Duration: e.cfg.fakeHeaderAirtime(), Payload: m,
+			ObsSpan: slotSpan,
 		})
 	}
+	// The slot the AP just opened becomes its causal reference.
+	ap.refSpan = slotSpan
 	// The sender always has the slot reference: broadcast its combination at
 	// the slot's end regardless of the exchange outcome.
 	ap.scheduleBroadcast(slot, act.slot, now)
@@ -382,11 +403,21 @@ func (ap *apNode) sendSignature(slotHint int, targets []phy.NodeID, ropFlag bool
 		return
 	}
 	sigs := sortedBroadcastTargets(targets)
-	e.trace(TraceEvent{Slot: slotHint, Kind: "bcast", Node: ap.id, OK: true})
+	var bSpan int64
+	if e.sp != nil {
+		bSpan = e.sp.Next()
+	}
+	e.trace(TraceEvent{Slot: slotHint, Kind: "bcast", Node: ap.id, OK: true,
+		Span: bSpan, Parent: ap.refSpan})
 	e.medium.Transmit(ap.id, &phy.Frame{
 		Kind: phy.Signature, Dst: phy.Broadcast, Duration: e.cfg.sigFrameDuration(),
-		Payload: &phy.SignaturePayload{Sigs: sigIDs(sigs), Start: true, ROP: ropFlag, SlotHint: slotHint},
+		Payload: &phy.SignaturePayload{Sigs: sigIDs(sigs), Start: true, ROP: ropFlag,
+			SlotHint: slotHint, ObsSpan: bSpan, ObsDepth: ap.depth},
+		ObsSpan: bSpan,
 	})
+	// The broadcast closes the slot; subsequent self-referenced duties hang
+	// off it.
+	ap.refSpan = bSpan
 	// Half-duplex makes a broadcasting node deaf to triggers arriving at the
 	// same instant, but its own broadcast end IS the slot boundary: if its
 	// next duty starts exactly there, self-trigger from that reference.
@@ -430,9 +461,12 @@ func (ap *apNode) doPollNow(slotIdx int) {
 	e := ap.e
 	e.Polls++
 	e.trace(TraceEvent{Slot: slotIdx, Kind: "poll", Node: ap.id, OK: true})
+	// The poll is part of the current chain node: airtime and rop_poll
+	// records accrue to the AP's reference span rather than a fresh one.
+	pollSpan := ap.refSpan
 	e.medium.Transmit(ap.id, &phy.Frame{
 		Kind: phy.Poll, Dst: phy.Broadcast, Duration: e.cfg.pollAirtime(),
-		Payload: ap.id,
+		Payload: ap.id, ObsSpan: pollSpan,
 	})
 	ap.lastSlot = slotIdx
 	ap.lastSlotStart = e.k.Now() - e.cfg.slotDuration()
@@ -442,7 +476,7 @@ func (ap *apNode) doPollNow(slotIdx int) {
 		res := rop.DecodeObserved(ap.assign,
 			func(c phy.NodeID) int { return e.clientBacklog(c) },
 			func(c phy.NodeID) float64 { return e.net.RSS[c][ap.id] },
-			e.medium.Config().NoiseDBm, e.k.Rand(), e.Obs, e.k.Now())
+			e.medium.Config().NoiseDBm, e.k.Rand(), e.Obs, e.k.Now(), pollSpan)
 		lat := e.cfg.WiredLatencyMean +
 			sim.Time(e.k.Rand().NormFloat64()*float64(e.cfg.WiredLatencyStd))
 		if lat < 0 {
@@ -517,8 +551,11 @@ func (ap *apNode) FrameReceived(f *phy.Frame, ok bool, det *phy.SignatureDetecti
 		slotStart := e.k.Now() - f.AirTime()
 		ap.lastSlot = idx
 		ap.lastSlotStart = slotStart
+		// The received slot is this AP's new causal reference: the boundary
+		// broadcast and any poll it runs hang off the sender's slot span.
+		m := f.Payload.(*meta)
+		ap.refSpan, ap.depth = m.span, m.depth
 		if f.Kind == phy.Data {
-			m := f.Payload.(*meta)
 			if e.cfg.Piggyback {
 				// Relay the piggybacked backlog to the server.
 				src := f.Src
@@ -547,6 +584,7 @@ func (ap *apNode) FrameReceived(f *phy.Frame, ok bool, det *phy.SignatureDetecti
 				e.medium.Transmit(ap.id, &phy.Frame{
 					Kind: phy.Ack, Dst: src, Bytes: phy.AckBytes,
 					Rate: e.cfg.Rate, Duration: e.cfg.ackAirtime(), Payload: am,
+					ObsSpan: m.span,
 				})
 			})
 		}

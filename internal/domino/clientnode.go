@@ -23,6 +23,11 @@ type clientNode struct {
 	inflight []*mac.Packet
 	txStart  sim.Time
 	ackEv    sim.Event
+
+	// refSpan/depth mirror apNode: the causal span of the client's current
+	// time reference and its trigger-cascade depth (zero with spans off).
+	refSpan int64
+	depth   int
 }
 
 // CarrierChanged implements phy.Listener.
@@ -55,6 +60,8 @@ func (c *clientNode) FrameReceived(f *phy.Frame, ok bool, det *phy.SignatureDete
 		}
 		m := f.Payload.(*meta)
 		slotStart := e.k.Now() - f.AirTime()
+		// The received downlink slot becomes this client's causal reference.
+		c.refSpan, c.depth = m.span, m.depth
 		if f.Kind == phy.Data {
 			src := f.Src
 			e.k.After(phy.SIFS, func() {
@@ -65,7 +72,7 @@ func (c *clientNode) FrameReceived(f *phy.Frame, ok bool, det *phy.SignatureDete
 				e.medium.Transmit(c.id, &phy.Frame{
 					Kind: phy.Ack, Dst: src, Bytes: phy.AckBytes,
 					Rate: e.cfg.Rate, Duration: e.cfg.ackAirtime(),
-					Payload: &ackMeta{pkts: m.pkts},
+					Payload: &ackMeta{pkts: m.pkts}, ObsSpan: m.span,
 				})
 			})
 		}
@@ -104,11 +111,19 @@ func (c *clientNode) scheduleBroadcast(slotIdx int, targets []phy.NodeID, ropFla
 	e.k.After(delay, func() {
 		if len(targets) > 0 && !e.medium.Transmitting(c.id) {
 			sigs := sortedBroadcastTargets(targets)
-			e.trace(TraceEvent{Slot: slotIdx + 1, Kind: "bcast", Node: c.id, OK: true})
+			var bSpan int64
+			if e.sp != nil {
+				bSpan = e.sp.Next()
+			}
+			e.trace(TraceEvent{Slot: slotIdx + 1, Kind: "bcast", Node: c.id, OK: true,
+				Span: bSpan, Parent: c.refSpan})
 			e.medium.Transmit(c.id, &phy.Frame{
 				Kind: phy.Signature, Dst: phy.Broadcast, Duration: e.cfg.sigFrameDuration(),
-				Payload: &phy.SignaturePayload{Sigs: sigIDs(sigs), Start: true, ROP: ropFlag, SlotHint: slotIdx + 1},
+				Payload: &phy.SignaturePayload{Sigs: sigIDs(sigs), Start: true, ROP: ropFlag,
+					SlotHint: slotIdx + 1, ObsSpan: bSpan, ObsDepth: c.depth},
+				ObsSpan: bSpan,
 			})
+			c.refSpan = bSpan
 		}
 		if selfNext {
 			// The AP told us we transmit in the next slot: the end of this
@@ -128,7 +143,7 @@ func (c *clientNode) scheduleBroadcast(slotIdx int, targets []phy.NodeID, ropFla
 // onTrigger: the client's own signature arrived — transmit on the uplink.
 func (c *clientNode) onTrigger(pl *phy.SignaturePayload) {
 	e := c.e
-	e.trace(TraceEvent{Slot: pl.SlotHint, Kind: "trigger", Node: c.id, OK: true})
+	c.refSpan, c.depth = e.noteTrigger(c.id, pl)
 	delay := sim.Time(0)
 	if pl.ROP {
 		delay = e.cfg.ropSlotDuration()
@@ -174,26 +189,39 @@ func (c *clientNode) sendUplink() {
 		e.Misalign.ObserveGroup(c.lastHint, now, e.refGroup[c.id])
 	}
 	bundle := e.popBundle(c.uplink.ID)
+	var slotSpan int64
+	if e.sp != nil {
+		slotSpan = e.sp.Next()
+		for _, p := range bundle {
+			p.TxSpan = slotSpan
+		}
+	}
 	if bundle != nil {
 		e.DataSends += len(bundle)
-		e.trace(TraceEvent{Slot: c.lastHint, Kind: "data", Node: c.id, Link: c.uplink, OK: true})
+		e.trace(TraceEvent{Slot: c.lastHint, Kind: "data", Node: c.id, Link: c.uplink, OK: true,
+			Span: slotSpan, Parent: c.refSpan})
 		dur := e.cfg.dataAirtime()
 		e.medium.Transmit(c.id, &phy.Frame{
 			Kind: phy.Data, Dst: c.ap, Bytes: e.cfg.VirtualBytes,
 			Rate: e.cfg.Rate, Duration: dur,
-			Payload: &meta{pkts: bundle, backlog: e.queues[c.uplink.ID].Len()},
+			Payload: &meta{pkts: bundle, backlog: e.queues[c.uplink.ID].Len(),
+				span: slotSpan, depth: c.depth},
+			ObsSpan: slotSpan,
 		})
 		c.inflight = bundle
 		timeout := dur + phy.SIFS + e.cfg.ackAirtime() + 2*phy.SlotTime
 		c.ackEv = e.k.After(timeout, c.ackTimeout)
 	} else {
 		e.FakeSends++
-		e.trace(TraceEvent{Slot: c.lastHint, Kind: "fake", Node: c.id, Link: c.uplink, OK: true})
+		e.trace(TraceEvent{Slot: c.lastHint, Kind: "fake", Node: c.id, Link: c.uplink, OK: true,
+			Span: slotSpan, Parent: c.refSpan})
 		e.medium.Transmit(c.id, &phy.Frame{
 			Kind: phy.FakeHeader, Dst: c.ap, Bytes: 0,
-			Rate: e.cfg.Rate, Duration: e.cfg.fakeHeaderAirtime(), Payload: &meta{},
+			Rate: e.cfg.Rate, Duration: e.cfg.fakeHeaderAirtime(),
+			Payload: &meta{span: slotSpan, depth: c.depth}, ObsSpan: slotSpan,
 		})
 	}
+	c.refSpan = slotSpan
 }
 
 func (c *clientNode) ackTimeout() {

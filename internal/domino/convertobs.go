@@ -61,6 +61,7 @@ func (e *Engine) WireMetrics(m *obs.Metrics) {
 		cm.passNs[i] = m.Counter("convert.pass." + name + ".ns")
 	}
 	e.convMetrics = cm
+	e.chainDepth = m.LogHist("domino.chain_depth")
 }
 
 // noteConvert accounts one dispatched batch: counters into the metrics
@@ -101,6 +102,12 @@ func (e *Engine) noteConvert(p *convert.Plan, firstSlot int) {
 	if !e.cfg.ConvertTrace || e.Obs == nil {
 		return
 	}
+	// All of a batch's records share one span, so tracedump can group a
+	// conversion batch as a single tree node.
+	var batchSpan int64
+	if e.sp != nil {
+		batchSpan = e.sp.Next()
+	}
 	emit := func(aux string, value, extra int64) {
 		rec := obs.Rec(e.k.Now(), obs.KindConvert)
 		rec.Slot = firstSlot
@@ -108,6 +115,7 @@ func (e *Engine) noteConvert(p *convert.Plan, firstSlot int) {
 		rec.Value = value
 		rec.Extra = extra
 		rec.OK = true
+		rec.Span = batchSpan
 		e.Obs.Emit(rec)
 	}
 	// One record per pass, each carrying that pass's two headline counters.

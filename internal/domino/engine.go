@@ -16,6 +16,8 @@ import (
 )
 
 // TraceEvent is an engine activity record for the microscope view (Fig 10).
+// Span/Parent/Depth are observability-only causal annotations (zero unless
+// the run allocates spans); the microscope printers may ignore them.
 type TraceEvent struct {
 	At   sim.Time
 	Slot int
@@ -23,6 +25,10 @@ type TraceEvent struct {
 	Node phy.NodeID
 	Link *topo.Link
 	OK   bool
+
+	Span   int64 // causal span this event opens, 0 if none
+	Parent int64 // span that caused it, 0 if root/none
+	Depth  int   // trigger-cascade depth (trigger events only)
 }
 
 // Engine is a complete DOMINO deployment: central server, APs, clients.
@@ -66,6 +72,13 @@ type Engine struct {
 	// records from DecodeObserved. The nil default costs one branch per
 	// trace call.
 	Obs obs.Tracer
+	// life is the per-run packet-lifecycle sink (enqueue/dequeue stamps and
+	// span assignment) and sp the causal span allocator; both nil unless
+	// WireObs ran, and every use guards with one nil check.
+	life *obs.Run
+	sp   *obs.Spans
+	// chainDepth histograms trigger-cascade depth when metrics are wired.
+	chainDepth *obs.LogHist
 	// convMetrics holds the conversion-pipeline counters once WireMetrics
 	// installed a registry; nil means no metrics accounting at all.
 	convMetrics *convertMetrics
@@ -113,6 +126,10 @@ type meta struct {
 	slot       int
 	clientSigs []phy.NodeID
 	rop        bool
+	// span/depth carry the slot's causal span and the sender's trigger-chain
+	// depth to the receiver, so its follow-on duties parent correctly.
+	span  int64
+	depth int
 	// selfNext tells the receiving client it is the next slot's sender, so
 	// the end of this slot's boundary exchange is its transmit reference;
 	// nextWait is how long past the boundary it must hold off (ROP or CoP
@@ -237,6 +254,10 @@ func (e *Engine) Start() {
 func (e *Engine) Enqueue(p *mac.Packet) {
 	if !e.queues[p.Link.ID].Push(p) {
 		e.events.Dropped(p, e.k.Now())
+		return
+	}
+	if e.life != nil {
+		e.life.PacketQueued(p, e.k.Now())
 	}
 }
 
@@ -340,12 +361,17 @@ func (e *Engine) trace(ev TraceEvent) {
 		rec.Slot = ev.Slot
 		rec.Aux = ev.Kind
 		rec.OK = ev.OK
+		rec.Span = ev.Span
+		rec.Parent = ev.Parent
 		e.Obs.Emit(rec)
 	case "trigger":
 		rec := obs.Rec(ev.At, obs.KindTrigger)
 		rec.Node = int(ev.Node)
 		rec.Slot = ev.Slot
 		rec.OK = true
+		rec.Span = ev.Span
+		rec.Parent = ev.Parent
+		rec.Value = int64(ev.Depth)
 		e.Obs.Emit(rec)
 	case "bcast":
 		// A boundary broadcast's Slot is the NEXT slot hint; the slot it
@@ -354,8 +380,27 @@ func (e *Engine) trace(ev TraceEvent) {
 		rec.Node = int(ev.Node)
 		rec.Slot = ev.Slot - 1
 		rec.OK = ev.OK
+		rec.Span = ev.Span
+		rec.Parent = ev.Parent
 		e.Obs.Emit(rec)
 	}
+}
+
+// noteTrigger accounts one detected own-signature trigger: it allocates the
+// trigger's span (parented to the broadcast that carried it), histograms the
+// cascade depth, and emits the trace event. Returns the new reference span
+// and depth for the node to adopt.
+func (e *Engine) noteTrigger(node phy.NodeID, pl *phy.SignaturePayload) (span int64, depth int) {
+	depth = pl.ObsDepth + 1
+	if e.sp != nil {
+		span = e.sp.Next()
+	}
+	if e.chainDepth != nil {
+		e.chainDepth.Record(int64(depth))
+	}
+	e.trace(TraceEvent{Slot: pl.SlotHint, Kind: "trigger", Node: node, OK: true,
+		Span: span, Parent: pl.ObsSpan, Depth: depth})
+	return span, depth
 }
 
 // triggerMiss records a failed own-signature detection: the broadcast carried
@@ -596,6 +641,12 @@ func (e *Engine) popBundle(linkID int) []*mac.Packet {
 		total += head.Bytes
 		if total >= e.cfg.VirtualBytes {
 			break
+		}
+	}
+	if e.life != nil && bundle != nil {
+		now := e.k.Now()
+		for _, p := range bundle {
+			e.life.PacketDequeued(p, now)
 		}
 	}
 	return bundle

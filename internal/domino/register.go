@@ -10,12 +10,15 @@ import (
 	"repro/internal/strict"
 )
 
-// WireObs implements scheme.Observable: the run pipeline hands the engine
-// its trace sink and the per-link queue-depth sampler in one call.
-func (e *Engine) WireObs(t obs.Tracer, queueSampler func(link, depth int)) {
-	e.Obs = t
-	if queueSampler != nil {
-		e.EnableQueueSampling(queueSampler)
+// WireObs implements scheme.Observable: the engine pulls its trace sink,
+// causal span allocator, packet-lifecycle hooks, and queue-depth sampler
+// from the per-run observability state.
+func (e *Engine) WireObs(run *obs.Run) {
+	e.Obs = run.Tracer()
+	e.life = run
+	e.sp = run.Spans()
+	if qs := run.QueueSampler(); qs != nil {
+		e.EnableQueueSampling(qs)
 	}
 }
 

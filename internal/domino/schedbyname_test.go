@@ -120,7 +120,7 @@ func TestConvertObsGatedAndMetrics(t *testing.T) {
 		cfg.ConvertTrace = convertTrace
 		engine := New(k, medium, g, hub, cfg)
 		buf := &obs.Buffer{}
-		engine.WireObs(buf, nil)
+		engine.WireObs(obs.NewRun(buf, nil))
 		m := obs.NewMetrics()
 		engine.WireMetrics(m)
 		for _, l := range links {

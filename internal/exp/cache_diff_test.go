@@ -115,7 +115,7 @@ func TestFig14GoldenAcrossConvertModes(t *testing.T) {
 		t.Skip("multi-run traced Fig 14 × 4 modes")
 	}
 	const (
-		goldenTraceSHA = "86f75ad8eaf3653ca946b01a3d415d7fb7ff49a0934da9cd10c51c507741dd55"
+		goldenTraceSHA = "b023fc31fb52f70519c90db5b9872f37e191c3f29a1c6c9d409056ddaba4f9c8"
 		goldenCSVSHA   = "24b473bfabef37b040796678a1621ec2593e47c4942780c40424f3703bf3de72"
 	)
 	for _, mode := range convertModes {

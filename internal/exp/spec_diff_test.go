@@ -1,11 +1,15 @@
 package exp
 
 // Differential safety net for the registry/spec refactor. The golden SHA-256
-// hashes below were captured from the pre-refactor pipeline (the hardcoded
-// scheme switch in core.Run) at exactly these configurations. The refactored
-// pipeline — registry lookup via core.Run AND the declarative spec path via
-// core.BuildScenario/RunScenario — must reproduce the traces byte for byte
-// and the throughputs digit for digit.
+// hashes below pin the trace byte format at exactly these configurations;
+// both the registry lookup via core.Run AND the declarative spec path via
+// core.BuildScenario/RunScenario must reproduce them byte for byte and the
+// throughputs digit for digit. The aggregate throughputs are the original
+// pre-refactor values — they must never drift. The trace hashes were
+// re-captured when causal spans and packet-lifecycle records were added to
+// the format (records gained sp/pa fields and pkt_enqueue/pkt_deliver
+// kinds); the runs themselves are schedule-identical to the pre-refactor
+// pipeline, which the unchanged throughputs prove.
 
 import (
 	"bytes"
@@ -36,10 +40,10 @@ var singleRunGoldens = []struct {
 	traceSHA  string
 	aggregate string // %.6f Mbps
 }{
-	{"DCF", core.DCF, 7, "21624f659261ae2946485a20a39b249cdd4e6cfd5d347f6e0fb5fb47f63bfa83", "16.616107"},
-	{"CENTAUR", core.CENTAUR, 3, "e791983a667733d64379a68db04dfa0e81c995f8286f7caf8a508a61535b9c70", "12.806827"},
-	{"DOMINO", core.DOMINO, 5, "7eed286eeec40528ca8dce156ff457e3095f8a7a1e945624b0a0431d5daa1009", "18.814293"},
-	{"Omniscient", core.Omniscient, 9, "5d8c56c60f1ee7a0446266ebd51e57cbfa071bbcda1bac7e528a1ac260426dab", "19.715413"},
+	{"DCF", core.DCF, 7, "363ee1458fb893fd12e8688de3792db5c8ed5d876ed94849aac55d21c48c9280", "16.616107"},
+	{"CENTAUR", core.CENTAUR, 3, "e9c76dcb15350db4e0be36b77102837718a65b1268158d95641feef1a368704e", "12.806827"},
+	{"DOMINO", core.DOMINO, 5, "a86eb06335f681d8e26ccaa167dc5a89c5accf6e77e3c290e4a59b53911fcd38", "18.814293"},
+	{"Omniscient", core.Omniscient, 9, "36a9acac06713075e4ee8687ac84b6e83ad2f5ad5a184c31ef7ab72727104a02", "19.715413"},
 }
 
 // runLegacy runs through the programmatic Scenario with the Scheme enum — the
@@ -124,7 +128,7 @@ func TestFig14MatchesPreRefactorGolden(t *testing.T) {
 		t.Skip("multi-run traced Fig 14")
 	}
 	const (
-		goldenTraceSHA = "86f75ad8eaf3653ca946b01a3d415d7fb7ff49a0934da9cd10c51c507741dd55"
+		goldenTraceSHA = "b023fc31fb52f70519c90db5b9872f37e191c3f29a1c6c9d409056ddaba4f9c8"
 		goldenCSVSHA   = "24b473bfabef37b040796678a1621ec2593e47c4942780c40424f3703bf3de72"
 	)
 	var trace bytes.Buffer

@@ -22,18 +22,23 @@ func fig14TraceOpts(workers int) Options {
 }
 
 // TestFig14TraceDeterministicAcrossWorkers is the observability determinism
-// contract: the merged NDJSON trace of a parallel experiment is byte-identical
-// at any worker count, because every run writes its own shard and shards merge
-// in run order.
+// contract: the merged NDJSON trace of a parallel experiment — with causal
+// spans enabled, since tracing turns them on — is byte-identical at any
+// worker count, because span IDs are allocated per run, every run writes its
+// own shard, and shards merge in run order.
 func TestFig14TraceDeterministicAcrossWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run Fig 14 trace comparison")
 	}
-	var serial, fanned bytes.Buffer
+	var serial, two, fanned bytes.Buffer
 
 	o := fig14TraceOpts(1)
 	o.TraceSink = &serial
 	r1 := must(Fig14(o))
+
+	o = fig14TraceOpts(2)
+	o.TraceSink = &two
+	must(Fig14(o))
 
 	o = fig14TraceOpts(8)
 	o.TraceSink = &fanned
@@ -41,6 +46,10 @@ func TestFig14TraceDeterministicAcrossWorkers(t *testing.T) {
 
 	if serial.Len() == 0 {
 		t.Fatal("traced Fig 14 produced an empty trace")
+	}
+	if !bytes.Equal(serial.Bytes(), two.Bytes()) {
+		t.Fatalf("trace differs between workers=1 (%d bytes) and workers=2 (%d bytes)",
+			serial.Len(), two.Len())
 	}
 	if !bytes.Equal(serial.Bytes(), fanned.Bytes()) {
 		t.Fatalf("trace differs between workers=1 (%d bytes) and workers=8 (%d bytes)",
@@ -51,13 +60,17 @@ func TestFig14TraceDeterministicAcrossWorkers(t *testing.T) {
 	}
 
 	// The stream must parse back into records, open with the first run's
-	// run_start, and alternate DCF/DOMINO run delimiters in run order.
+	// run_start, alternate DCF/DOMINO run delimiters in run order, and carry
+	// span annotations (DOMINO runs allocate spans when traced).
 	var schemes []string
-	var n int
+	var n, spanned int
 	err := obs.ParseNDJSON(&serial, func(r obs.Record) error {
 		n++
 		if r.Kind == obs.KindRunStart {
 			schemes = append(schemes, r.Aux)
+		}
+		if r.Span != 0 || r.Parent != 0 {
+			spanned++
 		}
 		return nil
 	})
@@ -66,6 +79,9 @@ func TestFig14TraceDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if n == 0 {
 		t.Fatal("no records parsed")
+	}
+	if spanned == 0 {
+		t.Fatal("no record carries a causal span; spans should be on in traced runs")
 	}
 	want := "DCF DOMINO DCF DOMINO"
 	if got := strings.Join(schemes, " "); got != want {

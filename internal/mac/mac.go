@@ -37,6 +37,16 @@ type Packet struct {
 	AckSeq uint64
 	// Retries counts transmission attempts so far.
 	Retries int
+	// Dequeued is when the packet first left the MAC queue for service; the
+	// observability layer stamps it once (obs.Run.PacketDequeued) so
+	// queueing delay and head-of-line latency split cleanly. Zero when the
+	// run has no observability wired.
+	Dequeued sim.Time
+	// Span is the packet's causal span id (obs), 0 when tracing is off.
+	Span int64
+	// TxSpan is the span of the transmission (DOMINO slot, CENTAUR epoch,
+	// DCF attempt) that last carried the packet, 0 if none.
+	TxSpan int64
 }
 
 // Events receives packet outcomes from an engine. Delivered fires when the

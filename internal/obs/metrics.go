@@ -54,13 +54,15 @@ func (h *Histogram) Observe(v float64) { h.cdf.Add(v) }
 // CDF exposes the underlying distribution (for merging into figure CDFs).
 func (h *Histogram) CDF() *stats.CDF { return &h.cdf }
 
-// Metrics is a per-run registry of named counters, gauges and histograms.
-// Get-or-create lookups are intended for setup paths; hot paths should hold
-// the returned pointer.
+// Metrics is a per-run registry of named counters, gauges and histograms
+// (both the CDF-backed Histogram and the fixed-bucket LogHist). Get-or-create
+// lookups are intended for setup paths; hot paths should hold the returned
+// pointer.
 type Metrics struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	lhists   map[string]*LogHist
 }
 
 // NewMetrics returns an empty registry.
@@ -69,6 +71,7 @@ func NewMetrics() *Metrics {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		lhists:   map[string]*LogHist{},
 	}
 }
 
@@ -102,13 +105,24 @@ func (m *Metrics) Histogram(name string) *Histogram {
 	return h
 }
 
+// LogHist returns the named log-scale histogram, creating it on first use.
+func (m *Metrics) LogHist(name string) *LogHist {
+	h := m.lhists[name]
+	if h == nil {
+		h = &LogHist{}
+		m.lhists[name] = h
+	}
+	return h
+}
+
 // MetricValue is one entry of a Snapshot.
 type MetricValue struct {
 	Name  string  `json:"name"`
-	Kind  string  `json:"kind"`  // "counter", "gauge" or "histogram"
+	Kind  string  `json:"kind"`  // "counter", "gauge", "histogram" or "loghist"
 	Value float64 `json:"value"` // counter/gauge value; histogram sample count
 	P50   float64 `json:"p50,omitempty"`
 	P90   float64 `json:"p90,omitempty"`
+	P95   float64 `json:"p95,omitempty"`
 	P99   float64 `json:"p99,omitempty"`
 	Max   float64 `json:"max,omitempty"`
 }
@@ -119,7 +133,7 @@ type Snapshot []MetricValue
 
 // Snapshot captures every registered metric, sorted by name.
 func (m *Metrics) Snapshot() Snapshot {
-	s := make(Snapshot, 0, len(m.counters)+len(m.gauges)+len(m.hists))
+	s := make(Snapshot, 0, len(m.counters)+len(m.gauges)+len(m.hists)+len(m.lhists))
 	for name, c := range m.counters {
 		s = append(s, MetricValue{Name: name, Kind: "counter", Value: float64(c.Value())})
 	}
@@ -131,8 +145,20 @@ func (m *Metrics) Snapshot() Snapshot {
 		if h.cdf.N() > 0 {
 			mv.P50 = h.cdf.Quantile(0.5)
 			mv.P90 = h.cdf.Quantile(0.9)
+			mv.P95 = h.cdf.Quantile(0.95)
 			mv.P99 = h.cdf.Quantile(0.99)
 			mv.Max = h.cdf.Quantile(1)
+		}
+		s = append(s, mv)
+	}
+	for name, h := range m.lhists {
+		mv := MetricValue{Name: name, Kind: "loghist", Value: float64(h.N())}
+		if h.N() > 0 {
+			mv.P50 = h.Quantile(0.5)
+			mv.P90 = h.Quantile(0.9)
+			mv.P95 = h.Quantile(0.95)
+			mv.P99 = h.Quantile(0.99)
+			mv.Max = float64(h.Max())
 		}
 		s = append(s, mv)
 	}
@@ -163,6 +189,9 @@ func (s Snapshot) WriteText(w io.Writer) {
 		case "histogram":
 			fmt.Fprintf(w, "  %-*s  n=%-8.0f p50=%-10.4g p90=%-10.4g p99=%-10.4g max=%.4g\n",
 				width, mv.Name, mv.Value, mv.P50, mv.P90, mv.P99, mv.Max)
+		case "loghist":
+			fmt.Fprintf(w, "  %-*s  n=%-8.0f p50=%-10.4g p95=%-10.4g p99=%-10.4g max=%.4g\n",
+				width, mv.Name, mv.Value, mv.P50, mv.P95, mv.P99, mv.Max)
 		default:
 			fmt.Fprintf(w, "  %-*s  %.6g\n", width, mv.Name, mv.Value)
 		}

@@ -46,6 +46,14 @@ func AppendRecord(buf []byte, r Record) []byte {
 		buf = append(buf, `,"dur":`...)
 		buf = strconv.AppendInt(buf, int64(r.Dur), 10)
 	}
+	if r.Span != 0 {
+		buf = append(buf, `,"sp":`...)
+		buf = strconv.AppendInt(buf, r.Span, 10)
+	}
+	if r.Parent != 0 {
+		buf = append(buf, `,"pa":`...)
+		buf = strconv.AppendInt(buf, r.Parent, 10)
+	}
 	if r.Aux != "" {
 		buf = append(buf, `,"aux":`...)
 		buf = appendJSONString(buf, r.Aux)
@@ -77,18 +85,24 @@ func appendJSONString(buf []byte, s string) []byte {
 const ndjsonFlushAt = 64 << 10
 
 // NDJSON is a Tracer that streams records as newline-delimited JSON with
-// bounded buffering: at most ~ndjsonFlushAt bytes are held before a write.
-// Errors are sticky and surfaced by Flush; emission after an error is a
-// no-op so a dead sink cannot corrupt a run.
+// bounded buffering: at most ~ndjsonFlushAt bytes are held before a chunk
+// goes to the sink, so long runs stream incrementally instead of buffering
+// whole traces. Errors are sticky and surfaced by Flush; emission after an
+// error is a no-op so a dead sink cannot corrupt a run.
 type NDJSON struct {
-	w   io.Writer
-	buf []byte
-	err error
+	sink Sink
+	buf  []byte
+	err  error
 }
 
 // NewNDJSON returns an NDJSON tracer writing to w. Call Flush after the run.
-func NewNDJSON(w io.Writer) *NDJSON {
-	return &NDJSON{w: w, buf: make([]byte, 0, ndjsonFlushAt+512)}
+func NewNDJSON(w io.Writer) *NDJSON { return NewNDJSONTo(WriterSink{W: w}) }
+
+// NewNDJSONTo returns an NDJSON tracer flushing through sink — a file, a
+// LiveHub, or a MultiSink teeing to both. Each chunk is a whole number of
+// lines. Call Flush (and, if the sink owns resources, Close) after the run.
+func NewNDJSONTo(sink Sink) *NDJSON {
+	return &NDJSON{sink: sink, buf: make([]byte, 0, ndjsonFlushAt+512)}
 }
 
 // Emit implements Tracer.
@@ -106,17 +120,26 @@ func (t *NDJSON) flush() {
 	if len(t.buf) == 0 {
 		return
 	}
-	_, t.err = t.w.Write(t.buf)
+	t.err = t.sink.WriteChunk(t.buf)
 	t.buf = t.buf[:0]
 }
 
 // Flush writes any buffered records and returns the first write error
-// encountered, if any.
+// encountered, if any. The sink stays open for more chunks.
 func (t *NDJSON) Flush() error {
 	if t.err == nil {
 		t.flush()
 	}
 	return t.err
+}
+
+// Close flushes and closes the sink. Returns the first error seen.
+func (t *NDJSON) Close() error {
+	err := t.Flush()
+	if cerr := t.sink.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Sharded collects per-task traces from a parallel driver and merges them
@@ -171,13 +194,26 @@ type jsonRecord struct {
 	V    int64  `json:"v"`
 	X    int64  `json:"x"`
 	Dur  int64  `json:"dur"`
+	Sp   int64  `json:"sp"`
+	Pa   int64  `json:"pa"`
 	Aux  string `json:"aux"`
 	OK   bool   `json:"ok"`
 }
 
 // ParseNDJSON reads an NDJSON trace stream and calls fn for each record in
-// order. fn returning an error aborts the scan.
+// order. fn returning an error aborts the scan, as does a record kind this
+// build does not know (use ScanNDJSON to tolerate newer traces).
 func ParseNDJSON(r io.Reader, fn func(Record) error) error {
+	_, err := ScanNDJSON(r, fn, nil)
+	return err
+}
+
+// ScanNDJSON reads an NDJSON trace stream like ParseNDJSON but tolerates
+// record kinds this build does not know: instead of aborting it counts them
+// (calling unknown, when non-nil, with the wire kind name) and returns the
+// total, so older tools can summarize newer traces and report exactly how
+// much they skipped. Malformed JSON still aborts the scan.
+func ScanNDJSON(r io.Reader, fn func(Record) error, unknown func(kind string)) (skipped int, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	line := 0
@@ -189,29 +225,36 @@ func ParseNDJSON(r io.Reader, fn func(Record) error) error {
 		}
 		var jr jsonRecord
 		if err := json.Unmarshal(raw, &jr); err != nil {
-			return fmt.Errorf("trace line %d: %w", line, err)
+			return skipped, fmt.Errorf("trace line %d: %w", line, err)
 		}
 		kind, ok := ParseKind(jr.K)
 		if !ok {
-			return fmt.Errorf("trace line %d: unknown record kind %q", line, jr.K)
+			if unknown == nil {
+				return skipped, fmt.Errorf("trace line %d: unknown record kind %q", line, jr.K)
+			}
+			skipped++
+			unknown(jr.K)
+			continue
 		}
 		rec := Record{
-			At:    sim.Time(jr.T),
-			Kind:  kind,
-			Node:  optInt(jr.Node),
-			Link:  optInt(jr.Link),
-			Slot:  optInt(jr.Slot),
-			Value: jr.V,
-			Extra: jr.X,
-			Dur:   sim.Time(jr.Dur),
-			Aux:   jr.Aux,
-			OK:    jr.OK,
+			At:     sim.Time(jr.T),
+			Kind:   kind,
+			Node:   optInt(jr.Node),
+			Link:   optInt(jr.Link),
+			Slot:   optInt(jr.Slot),
+			Value:  jr.V,
+			Extra:  jr.X,
+			Dur:    sim.Time(jr.Dur),
+			Span:   jr.Sp,
+			Parent: jr.Pa,
+			Aux:    jr.Aux,
+			OK:     jr.OK,
 		}
 		if err := fn(rec); err != nil {
-			return err
+			return skipped, err
 		}
 	}
-	return sc.Err()
+	return skipped, sc.Err()
 }
 
 func optInt(p *int) int {

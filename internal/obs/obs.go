@@ -78,6 +78,21 @@ const (
 	// Value/Extra are counter-specific. Off by default so golden traces are
 	// unchanged.
 	KindConvert
+	// KindPktEnqueue opens a packet lifecycle span: Link is the packet's
+	// link, Value the payload bytes, Span the packet's fresh span id.
+	KindPktEnqueue
+	// KindPktDeliver closes a packet lifecycle span at MAC delivery: Span is
+	// the packet's span, Parent the span of the transmission (slot/epoch)
+	// that carried it, Dur the enqueue-to-delivery latency, Value the
+	// queueing delay in µs and Extra the head-of-line latency in µs.
+	KindPktDeliver
+	// KindEpoch marks a CENTAUR epoch build: Value is the epoch sequence
+	// number, Extra the scheduled round count, Span the epoch's span id.
+	KindEpoch
+	// KindMetric is a per-histogram summary emitted once at run end when both
+	// a tracer and a metrics registry are installed: Aux is the metric name,
+	// Value the sample count, Extra the p99 (rounded to an integer).
+	KindMetric
 
 	numKinds
 )
@@ -87,6 +102,7 @@ var kindNames = [numKinds]string{
 	"run_start", "run_end", "slot_start", "slot_end", "trigger",
 	"trigger_miss", "rop_poll", "backoff", "ack_timeout", "collision",
 	"tx_start", "tx_end", "queue", "kernel", "drop", "convert",
+	"pkt_enqueue", "pkt_deliver", "epoch", "metric",
 }
 
 // String returns the record type's wire name.
@@ -110,17 +126,24 @@ func ParseKind(s string) (Kind, bool) {
 // Record is one trace event. It is passed by value through Tracer.Emit so a
 // no-op tracer costs no allocation. Node, Link and Slot use -1 for "not
 // applicable" (0 is a valid id); emission sites must set them explicitly.
+//
+// Span and Parent carry the causal-tree layer: a record with Span != 0 opens
+// (or belongs to) that span, and Parent != 0 names the span whose effect it
+// is. Span ids come from a per-run Spans allocator (see span.go), so the
+// trees are deterministic and 0 always means "none".
 type Record struct {
-	At    sim.Time // simulated timestamp
-	Kind  Kind
-	Node  int      // node id, -1 if n/a
-	Link  int      // link id, -1 if n/a
-	Slot  int      // DOMINO slot index, -1 if n/a
-	Value int64    // kind-specific primary value
-	Extra int64    // kind-specific secondary value
-	Dur   sim.Time // duration payload (airtime), 0 if n/a
-	Aux   string   // kind-specific tag (frame kind, scheme, "data"/"fake")
-	OK    bool
+	At     sim.Time // simulated timestamp
+	Kind   Kind
+	Node   int      // node id, -1 if n/a
+	Link   int      // link id, -1 if n/a
+	Slot   int      // DOMINO slot index, -1 if n/a
+	Value  int64    // kind-specific primary value
+	Extra  int64    // kind-specific secondary value
+	Dur    sim.Time // duration payload (airtime), 0 if n/a
+	Span   int64    // causal span this record belongs to, 0 if none
+	Parent int64    // span that caused this record, 0 if none/root
+	Aux    string   // kind-specific tag (frame kind, scheme, "data"/"fake")
+	OK     bool
 }
 
 // Rec returns a Record with Node, Link and Slot marked not-applicable.

@@ -1,6 +1,9 @@
 package obs
 
 import (
+	"sort"
+	"strconv"
+
 	"repro/internal/mac"
 	"repro/internal/phy"
 	"repro/internal/sim"
@@ -13,6 +16,10 @@ const kernelSampleEvery = 1024
 // queueSampleEvery decimates KindQueue records per link.
 const queueSampleEvery = 64
 
+// livePublishEvery decimates live metrics snapshots: one snapshot per this
+// many fired kernel events when a publisher is attached.
+const livePublishEvery = 65536
+
 // Run wires one simulation run's tracer and metrics across the layers: it
 // implements phy.Probe (medium activity), mac.Events (delivery outcomes) and
 // the kernel's OnEvent hook, and owns the airtime accounting. Either of
@@ -23,6 +30,7 @@ type Run struct {
 	tracer  Tracer
 	metrics *Metrics
 	air     Airtime
+	spans   *Spans // span-id allocator; nil when spans are off
 
 	firedBySrc [sim.NumSources]int64
 	collisions int64
@@ -32,16 +40,31 @@ type Run struct {
 	delivered *Counter
 	dropped   *Counter
 	txByKind  [NumBuckets]*Counter
+	qdelay    *LogHist // enqueue → first dequeue, microseconds
+	hol       *LogHist // first dequeue → delivery (head-of-line), microseconds
+	aoiPeak   *LogHist // per-client peak age-of-information at delivery, µs
+
+	// aoiLast is each client's last delivered update's generation (enqueue)
+	// time; aoiGauge caches the per-client age gauges so delivery stays off
+	// the name-formatting path after a client's first packet.
+	aoiLast  map[int]sim.Time
+	aoiGauge map[int]*Gauge
 
 	queueSeen  map[int]int // per-link samples observed, for decimation
 	queueDepth *Gauge      // high-water MAC backlog across links
+
+	pub *MetricsPublisher // live snapshot publisher, nil unless attached
 
 	now func() sim.Time // simulation clock, for hooks with no timestamp of their own
 }
 
 // NewRun returns a Run emitting to tr (may be nil) and m (may be nil).
+// Causal spans are on whenever a tracer is installed; DisableSpans opts out.
 func NewRun(tr Tracer, m *Metrics) *Run {
 	r := &Run{tracer: tr, metrics: m, queueSeen: map[int]int{}}
+	if tr != nil {
+		r.spans = NewSpans()
+	}
 	if m != nil {
 		r.delay = m.Histogram("mac.delay_us")
 		r.delivered = m.Counter("mac.delivered")
@@ -50,12 +73,39 @@ func NewRun(tr Tracer, m *Metrics) *Run {
 			r.txByKind[b] = m.Counter("phy.tx." + b.String())
 		}
 		r.queueDepth = m.Gauge("mac.queue_max")
+		r.qdelay = m.LogHist("mac.qdelay_us")
+		r.hol = m.LogHist("mac.hol_us")
+		r.aoiPeak = m.LogHist("aoi.peak_us")
+		r.aoiLast = map[int]sim.Time{}
+		r.aoiGauge = map[int]*Gauge{}
 	}
 	return r
 }
 
 // Tracer returns the run's tracer (nil when tracing is off).
 func (r *Run) Tracer() Tracer { return r.tracer }
+
+// Spans returns the run's span allocator, nil when spans are off. Engines
+// keep the returned pointer and guard every allocation with one nil check —
+// the contract that keeps the disabled path at zero cost.
+func (r *Run) Spans() *Spans { return r.spans }
+
+// DisableSpans turns causal span allocation off (trace records keep their
+// flat shape). It returns r for chaining and must run before engine wiring.
+func (r *Run) DisableSpans() *Run {
+	r.spans = nil
+	return r
+}
+
+// SetPublisher attaches a live metrics publisher: the kernel hook pushes a
+// decimated snapshot stream into it, and Finish publishes the final state.
+// It returns r for chaining. No-op when the run has no metrics registry.
+func (r *Run) SetPublisher(p *MetricsPublisher) *Run {
+	if r.metrics != nil {
+		r.pub = p
+	}
+	return r
+}
 
 // BindClock attaches the simulation clock, used to timestamp records emitted
 // from hooks that do not carry their own time (queue-depth samples). It
@@ -86,6 +136,7 @@ func (r *Run) TxStart(f *phy.Frame, now sim.Time) {
 		rec := Rec(now, KindTxStart)
 		rec.Node = int(f.Src)
 		rec.Dur = f.AirTime()
+		rec.Span = f.ObsSpan
 		rec.Aux = f.Kind.String()
 		r.tracer.Emit(rec)
 	}
@@ -97,6 +148,7 @@ func (r *Run) TxEnd(f *phy.Frame, now sim.Time) {
 	if r.tracer != nil {
 		rec := Rec(now, KindTxEnd)
 		rec.Node = int(f.Src)
+		rec.Span = f.ObsSpan
 		rec.Aux = f.Kind.String()
 		r.tracer.Emit(rec)
 	}
@@ -114,17 +166,87 @@ func (r *Run) RxOutcome(f *phy.Frame, at phy.NodeID, ok bool, now sim.Time) {
 	if r.tracer != nil {
 		rec := Rec(now, KindCollision)
 		rec.Node = int(at)
+		rec.Parent = f.ObsSpan
 		rec.Aux = f.Kind.String()
 		r.tracer.Emit(rec)
 	}
 }
 
-// Delivered implements mac.Events.
+// PacketQueued opens a packet's lifecycle: engines call it after a
+// successful MAC enqueue. It assigns the packet its causal span (when spans
+// are on) and emits the pkt_enqueue record that roots the lifecycle tree.
+func (r *Run) PacketQueued(p *mac.Packet, now sim.Time) {
+	if r.spans != nil {
+		p.Span = r.spans.Next()
+	}
+	if r.tracer != nil {
+		rec := Rec(now, KindPktEnqueue)
+		rec.Link = p.Link.ID
+		rec.Span = p.Span
+		rec.Value = int64(p.Bytes)
+		r.tracer.Emit(rec)
+	}
+}
+
+// PacketDequeued stamps the packet's first exit from its MAC queue (retries
+// requeue and re-pop; only the first service counts) and records queueing
+// delay. Engines call it right after every queue Pop they intend to serve.
+func (r *Run) PacketDequeued(p *mac.Packet, now sim.Time) {
+	if p.Dequeued != 0 {
+		return
+	}
+	p.Dequeued = now
+	if r.qdelay != nil {
+		r.qdelay.Record(int64(now-p.Enqueued) / 1000)
+	}
+}
+
+// Delivered implements mac.Events: delivery latency, head-of-line latency,
+// per-client age-of-information, and the pkt_deliver record closing the
+// packet's span (parented to the transmission that carried it).
 func (r *Run) Delivered(p *mac.Packet, now sim.Time) {
 	if r.delivered != nil {
 		r.delivered.Inc()
 		r.delay.Observe((now - p.Enqueued).Microseconds())
+		if p.Dequeued != 0 {
+			r.hol.Record(int64(now-p.Dequeued) / 1000)
+		}
+		r.noteAoI(p, now)
 	}
+	if r.tracer != nil {
+		rec := Rec(now, KindPktDeliver)
+		rec.Link = p.Link.ID
+		rec.Span = p.Span
+		rec.Parent = p.TxSpan
+		rec.Dur = now - p.Enqueued
+		if p.Dequeued != 0 {
+			rec.Value = int64(p.Dequeued-p.Enqueued) / 1000
+			rec.Extra = int64(now-p.Dequeued) / 1000
+		}
+		r.tracer.Emit(rec)
+	}
+}
+
+// noteAoI updates the client's age-of-information at a delivery: the peak
+// age just before this update (now minus the previous update's generation
+// time, the standard sawtooth peak) goes into the aoi.peak_us histogram,
+// and the client's gauge holds the post-delivery age (this packet's own
+// generation-to-delivery latency).
+func (r *Run) noteAoI(p *mac.Packet, now sim.Time) {
+	client := int(p.Link.Receiver)
+	if !p.Link.Downlink {
+		client = int(p.Link.Sender)
+	}
+	if prev, ok := r.aoiLast[client]; ok {
+		r.aoiPeak.Record(int64(now-prev) / 1000)
+	}
+	r.aoiLast[client] = p.Enqueued
+	g := r.aoiGauge[client]
+	if g == nil {
+		g = r.metrics.Gauge("aoi.client." + strconv.Itoa(client) + "_us")
+		r.aoiGauge[client] = g
+	}
+	g.Set((now - p.Enqueued).Microseconds())
 }
 
 // Dropped implements mac.Events.
@@ -135,13 +257,16 @@ func (r *Run) Dropped(p *mac.Packet, now sim.Time) {
 	if r.tracer != nil {
 		rec := Rec(now, KindDrop)
 		rec.Link = p.Link.ID
+		rec.Span = p.Span
 		rec.Value = int64(p.Retries)
 		r.tracer.Emit(rec)
 	}
 }
 
 // KernelHook returns the closure to install via sim.Kernel.OnEvent: it
-// tallies fired events per source and emits a decimated event-loop sample.
+// tallies fired events per source, emits a decimated event-loop sample, and
+// feeds the live metrics publisher (when attached) a decimated snapshot
+// stream.
 func (r *Run) KernelHook() func(sim.EventInfo) {
 	return func(info sim.EventInfo) {
 		r.firedBySrc[info.Source]++
@@ -150,6 +275,9 @@ func (r *Run) KernelHook() func(sim.EventInfo) {
 			rec.Value = int64(info.Pending)
 			rec.Extra = int64(info.Fired)
 			r.tracer.Emit(rec)
+		}
+		if r.pub != nil && info.Fired%livePublishEvery == 0 {
+			r.pub.Publish(r.metrics.Snapshot())
 		}
 	}
 }
@@ -198,9 +326,29 @@ func (r *Run) Finish(end sim.Time) Breakdown {
 		}
 	}
 	if r.tracer != nil {
+		// One summary record per log-scale histogram (sorted so traces stay
+		// deterministic), then the run-close record.
+		if r.metrics != nil && len(r.metrics.lhists) > 0 {
+			names := make([]string, 0, len(r.metrics.lhists))
+			for name := range r.metrics.lhists {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				h := r.metrics.lhists[name]
+				rec := Rec(end, KindMetric)
+				rec.Aux = name
+				rec.Value = h.N()
+				rec.Extra = int64(h.Quantile(0.99))
+				r.tracer.Emit(rec)
+			}
+		}
 		rec := Rec(end, KindRunEnd)
 		rec.Value = r.collisions
 		r.tracer.Emit(rec)
+	}
+	if r.pub != nil {
+		r.pub.Publish(r.metrics.Snapshot())
 	}
 	return b
 }

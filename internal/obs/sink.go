@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"io"
+	"sync"
+)
+
+// Sink receives incremental chunks of an encoded trace stream. NDJSON
+// tracers flush through a Sink instead of buffering whole runs, which is
+// what lets long simulations stream telemetry: a chunk arrives every
+// ~ndjsonFlushAt bytes, each one a whole number of NDJSON lines.
+//
+// WriteChunk is called from the flushing tracer's goroutine (the simulation
+// event loop); implementations that fan out to other goroutines (LiveHub)
+// must do their own synchronization and must never block the caller.
+type Sink interface {
+	// WriteChunk consumes one chunk. The buffer is only valid for the
+	// duration of the call; implementations that retain it must copy.
+	WriteChunk(p []byte) error
+	// Close flushes and releases the sink after the final chunk.
+	Close() error
+}
+
+// WriterSink adapts an io.Writer to a Sink.
+type WriterSink struct{ W io.Writer }
+
+// WriteChunk implements Sink.
+func (s WriterSink) WriteChunk(p []byte) error {
+	_, err := s.W.Write(p)
+	return err
+}
+
+// Close implements Sink. It closes the underlying writer when it is a
+// Closer (a file), and is a no-op otherwise.
+func (s WriterSink) Close() error {
+	if c, ok := s.W.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// MultiSink tees chunks to several sinks: the trace can go to a file and a
+// live HTTP hub at once. Errors are reported from the first failing sink,
+// but every sink still sees every chunk (a dead live subscriber must not
+// kill the on-disk trace).
+type MultiSink []Sink
+
+// WriteChunk implements Sink.
+func (m MultiSink) WriteChunk(p []byte) error {
+	var first error
+	for _, s := range m {
+		if err := s.WriteChunk(p); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close implements Sink.
+func (m MultiSink) Close() error {
+	var first error
+	for _, s := range m {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// LiveHub fans trace chunks out to live subscribers (the /debug/trace
+// chunked-HTTP endpoint). Chunks are copied and queued per subscriber; a
+// subscriber that falls behind its queue has chunks dropped rather than
+// stalling the simulation — the dropped count is reported on its stream's
+// final line. The zero value is not usable; call NewLiveHub.
+type LiveHub struct {
+	mu     sync.Mutex
+	subs   map[int]*liveSub
+	nextID int
+	closed bool
+}
+
+type liveSub struct {
+	ch      chan []byte
+	dropped int64
+}
+
+// liveSubDepth bounds each subscriber's pending-chunk queue.
+const liveSubDepth = 32
+
+// NewLiveHub returns an empty hub. It is a valid Sink immediately; chunks
+// arriving with no subscribers are discarded.
+func NewLiveHub() *LiveHub {
+	return &LiveHub{subs: map[int]*liveSub{}}
+}
+
+// WriteChunk implements Sink: the chunk is copied once and offered to every
+// subscriber without blocking.
+func (h *LiveHub) WriteChunk(p []byte) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed || len(h.subs) == 0 || len(p) == 0 {
+		return nil
+	}
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	for _, s := range h.subs {
+		select {
+		case s.ch <- cp:
+		default:
+			s.dropped++
+		}
+	}
+	return nil
+}
+
+// Close implements Sink: all subscriber channels are closed, ending their
+// streams.
+func (h *LiveHub) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	for id, s := range h.subs {
+		close(s.ch)
+		delete(h.subs, id)
+	}
+	return nil
+}
+
+// Subscribe registers a live reader and returns its chunk channel plus a
+// cancel function. The channel closes when the hub closes or cancel runs;
+// dropped reports how many chunks were discarded because the reader lagged.
+func (h *LiveHub) Subscribe() (ch <-chan []byte, cancel func(), dropped func() int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := &liveSub{ch: make(chan []byte, liveSubDepth)}
+	if h.closed {
+		close(s.ch)
+		return s.ch, func() {}, func() int64 { return 0 }
+	}
+	id := h.nextID
+	h.nextID++
+	h.subs[id] = s
+	cancel = func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[id]; ok {
+			delete(h.subs, id)
+			close(s.ch)
+		}
+	}
+	dropped = func() int64 {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return s.dropped
+	}
+	return s.ch, cancel, dropped
+}

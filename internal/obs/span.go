@@ -1,0 +1,25 @@
+package obs
+
+// Spans allocates causal span ids for one run. Ids are a plain sequence
+// starting at 1 (0 is the wire encoding for "no span"), handed out from the
+// single-threaded event loop in event order — so spans are deterministic for
+// a given seed and restart per run, which keeps merged multi-run traces
+// byte-identical at any worker count.
+//
+// A nil *Spans is the disabled state: engines keep a *Spans field that stays
+// nil when tracing is off, and every allocation site guards with one nil
+// check, so the disabled path costs nothing (benchmark-pinned by
+// benchreport -obs).
+type Spans struct {
+	last int64
+}
+
+// NewSpans returns a fresh allocator whose first Next is 1.
+func NewSpans() *Spans { return &Spans{} }
+
+// Next returns a fresh span id. Not safe for concurrent use; spans belong to
+// one simulation's event loop.
+func (s *Spans) Next() int64 {
+	s.last++
+	return s.last
+}

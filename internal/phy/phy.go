@@ -174,6 +174,13 @@ type SignaturePayload struct {
 	// the count explicitly models that counter and lets nodes match duties
 	// to slots and skip ones whose air time has passed.
 	SlotHint int
+	// ObsSpan/ObsDepth ride the broadcast for the obs layer only: the span
+	// of this signature broadcast and the trigger-cascade depth accumulated
+	// so far, so a receiver's trigger record can parent itself to the
+	// broadcast that caused it. Zero when tracing is off; no MAC or PHY
+	// decision may read them.
+	ObsSpan  int64
+	ObsDepth int
 }
 
 // Combined returns the number of signatures summed into the broadcast; START
@@ -199,6 +206,11 @@ type Frame struct {
 	// of the contention-free period so coexisting DCF nodes defer (§5,
 	// Fig 15); overhearing MACs should honour max(ACK protection, NAV).
 	NAV sim.Time
+	// ObsSpan is the causal span this frame belongs to (obs layer); the
+	// medium probe copies it onto tx_start/tx_end records so airtime hangs
+	// off the right slot/epoch/attempt in trace trees. 0 when tracing is
+	// off — the PHY itself never reads it.
+	ObsSpan int64
 }
 
 // AirTime returns the frame's on-air duration.

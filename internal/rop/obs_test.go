@@ -18,7 +18,7 @@ func TestDecodeObserved(t *testing.T) {
 	queue := func(c phy.NodeID) int { return int(c) - 9 } // 1, 2, 3
 	a := Assign(clients, rss)
 	var buf obs.Buffer
-	res := DecodeObserved(a, queue, rss, -95, nil, &buf, 42)
+	res := DecodeObserved(a, queue, rss, -95, nil, &buf, 42, 7)
 	plain := Decode(a, queue, rss, -95, nil)
 	if len(res.Values) != len(plain.Values) || len(res.Failed) != len(plain.Failed) {
 		t.Fatalf("DecodeObserved result differs from Decode: %+v vs %+v", res, plain)
@@ -36,6 +36,9 @@ func TestDecodeObserved(t *testing.T) {
 			t.Fatalf("record %d order broken: %+v vs client %d sub %d",
 				i, r, a.Clients[i], a.Subchannels[i])
 		}
+		if r.Parent != 7 {
+			t.Fatalf("record %d parent = %d, want the poll span 7", i, r.Parent)
+		}
 		if r.OK {
 			okCount++
 			if want := int64(plain.Values[a.Clients[i]]); r.Value != want {
@@ -47,7 +50,7 @@ func TestDecodeObserved(t *testing.T) {
 		t.Fatalf("%d reports decoded, want 2 (node 12 is below the floor)", okCount)
 	}
 	// Nil tracer emits nothing and matches Decode exactly.
-	res2 := DecodeObserved(a, queue, rss, -95, nil, nil, 0)
+	res2 := DecodeObserved(a, queue, rss, -95, nil, nil, 0, 0)
 	if len(res2.Values) != len(plain.Values) {
 		t.Fatal("nil-tracer DecodeObserved differs from Decode")
 	}

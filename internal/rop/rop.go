@@ -105,15 +105,18 @@ func Decode(a Assignment, queue func(phy.NodeID) int, rssAtAP func(phy.NodeID) f
 // one KindROPPoll record per assigned client in assignment order (Node the
 // client, Value the decoded backlog, Extra the subchannel, OK whether the
 // report symbol decoded), timestamped now. Iteration follows a.Clients, not
-// the result map, so the record order is deterministic.
+// the result map, so the record order is deterministic. span is the causal
+// span of the poll that solicited the reports (0 when spans are off); it
+// becomes each record's Parent so polls hang off the trigger-chain tree.
 func DecodeObserved(a Assignment, queue func(phy.NodeID) int, rssAtAP func(phy.NodeID) float64,
-	noiseDBm float64, rng *rand.Rand, tr obs.Tracer, now sim.Time) Result {
+	noiseDBm float64, rng *rand.Rand, tr obs.Tracer, now sim.Time, span int64) Result {
 	res := Decode(a, queue, rssAtAP, noiseDBm, rng)
 	if tr != nil {
 		for i, c := range a.Clients {
 			rec := obs.Rec(now, obs.KindROPPoll)
 			rec.Node = int(c)
 			rec.Extra = int64(a.Subchannels[i])
+			rec.Parent = span
 			if v, ok := res.Values[c]; ok {
 				rec.Value = int64(v)
 				rec.OK = true

@@ -70,11 +70,14 @@ type Descriptor struct {
 	Build func(ctx BuildContext, cfg any) (mac.Engine, error)
 }
 
-// Observable is implemented by engines that accept the observability layer:
-// a typed trace sink plus a per-link queue-depth sampler. The run pipeline
-// wires any engine implementing it; others simply run untraced.
+// Observable is implemented by engines that accept the observability layer.
+// The run pipeline hands the engine the whole per-run obs.Run; the engine
+// pulls what it uses — the Tracer for record emission, the Spans allocator
+// for causal trees, the queue sampler, and the packet-lifecycle hooks
+// (PacketQueued / PacketDequeued). Engines not implementing it simply run
+// untraced.
 type Observable interface {
-	WireObs(t obs.Tracer, queueSampler func(link, depth int))
+	WireObs(run *obs.Run)
 }
 
 // MetricsObservable is implemented by engines that feed the per-run metrics

@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmt specs build test race race-hot bench bench-obs bench-kernel bench-convert benchreport benchreport-obs benchreport-kernel benchreport-convert
+.PHONY: ci vet fmt specs build test race race-hot race-shard bench bench-obs bench-kernel bench-convert bench-shard benchreport benchreport-obs benchreport-kernel benchreport-convert benchreport-shard
 
-ci: vet fmt build test specs race race-hot bench-obs bench-kernel bench-convert
+ci: vet fmt build test specs race race-hot race-shard bench-obs bench-kernel bench-convert bench-shard
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +35,14 @@ race:
 # race sweep would be skipped.
 race-hot:
 	$(GO) test -race -count=1 ./internal/sim ./internal/ofdm ./internal/obs
+
+# Race re-run of the sharded-runner stack: the shard package (per-domain
+# goroutines, cross-shard mailboxes), the kernel it drives, and the ForEach
+# fan-out underneath. The shard tests cover single-domain transparency,
+# multi-domain differentials and worker-count determinism, so -race here
+# checks every cross-goroutine edge the sharded runner adds.
+race-shard:
+	$(GO) test -race -count=1 ./internal/shard ./internal/sim ./internal/parallel
 
 # Full benchmark sweep (one iteration per table/figure; laptop-minutes).
 bench:
@@ -69,6 +77,16 @@ bench-kernel:
 bench-convert:
 	$(GO) run ./cmd/benchreport -convert -runs 2 -duration 1s -min-steady-hit 70 -max-convert-ns 600000 -out /tmp/BENCH_convert_ci.json
 
+# Sharded-runner gate at a quick configuration (240-AP campus, 50ms): the
+# sweep runs the same scenario at 1/2/4/8 workers and exits non-zero unless
+# every point's merged-output hash is identical (the determinism contract —
+# always enforced). The -min-speedup 3 gate on the 4-worker point only
+# applies on hosts with >=4 CPUs; on smaller machines benchreport prints a
+# loud warning and skips it, since no worker count can beat serial there.
+# The committed BENCH_shard.json comes from benchreport-shard below.
+bench-shard:
+	$(GO) run ./cmd/benchreport -shard -shard-buildings 12 -shard-duration 50ms -min-speedup 3 -out /tmp/BENCH_shard_ci.json
+
 # Refresh BENCH_parallel.json: harness speedup + correlator hot-path numbers.
 benchreport:
 	$(GO) run ./cmd/benchreport
@@ -89,3 +107,8 @@ benchreport-kernel:
 # 16-placement x 2s Fig 14 workload.
 benchreport-convert:
 	$(GO) run ./cmd/benchreport -convert
+
+# Refresh BENCH_shard.json: the 1,000-AP grid-campus sweep at 1/2/4/8
+# workers with per-point wall clock and output hashes.
+benchreport-shard:
+	$(GO) run ./cmd/benchreport -shard -min-speedup 3

@@ -11,6 +11,8 @@
 //	go run ./cmd/benchreport -obs -strict        # fail (exit 1) on >2% disabled-path regression
 //	go run ./cmd/benchreport -kernel             # pooled kernel + planned FFT, writes BENCH_kernel.json
 //	go run ./cmd/benchreport -convert            # conversion pipeline + batch cache, writes BENCH_convert.json
+//	go run ./cmd/benchreport -shard              # sharded campus runner sweep, writes BENCH_shard.json
+//	go run ./cmd/benchreport -shard -min-speedup 3   # also gate 4-worker speedup (≥4-CPU hosts only)
 //
 // The wall-clock comparisons run each driver twice — workers=1 and
 // workers=GOMAXPROCS — on the same seed; the outputs are asserted identical
@@ -30,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -83,15 +86,36 @@ func main() {
 		obsMode     = flag.Bool("obs", false, "measure observability overhead instead (kernel + correlator, disabled vs enabled)")
 		kernelMode  = flag.Bool("kernel", false, "measure the pooled event kernel and planned FFT instead, writes BENCH_kernel.json")
 		convertMode = flag.Bool("convert", false, "measure the schedule-conversion pipeline and batch cache instead, writes BENCH_convert.json")
+		shardMode   = flag.Bool("shard", false, "measure the interference-domain sharded runner on the grid campus instead, writes BENCH_shard.json")
 		strict      = flag.Bool("strict", false, "with -obs: exit 1 when the disabled path regresses >2% vs the baseline")
 		baseline    = flag.String("baseline", "BENCH_parallel.json", "with -obs: baseline report for the correlator_detect comparison")
 
 		minSteadyHit  = flag.Float64("min-steady-hit", 0, "with -convert: exit 1 when the steady-state cache hit rate is below this percentage (0 disables)")
 		maxNsPerBatch = flag.Float64("max-convert-ns", 0, "with -convert: exit 1 when full-mode ns/batch exceeds this budget (0 disables)")
 		maxHistNs     = flag.Float64("max-hist-ns", 0, "with -obs: exit 1 when LogHist.Record exceeds this ns/op budget (0 disables)")
+		minSpeedup    = flag.Float64("min-speedup", 0, "with -shard: exit 1 when the 4-worker speedup falls below this factor; skipped with a warning on machines with <4 CPUs (0 disables)")
+		shardBldgs    = flag.Int("shard-buildings", 50, "with -shard: grid campus building count (50 x 20 APs = the 1,000-AP curve)")
+		shardDur      = flag.Duration("shard-duration", 100*time.Millisecond, "with -shard: simulated time per sweep point")
 	)
 	flag.Parse()
 
+	if runtime.NumCPU() == 1 {
+		fmt.Fprintln(os.Stderr, strings.Repeat("!", 72))
+		fmt.Fprintln(os.Stderr, "!! benchreport: this machine exposes ONE CPU. All speedup numbers in")
+		fmt.Fprintln(os.Stderr, "!! the recorded report reflect single-core scheduling overhead, not")
+		fmt.Fprintln(os.Stderr, "!! parallel capacity. Determinism/identity gates still hold; any")
+		fmt.Fprintln(os.Stderr, "!! speedup gate is skipped. Re-record on a multi-core host for real")
+		fmt.Fprintln(os.Stderr, "!! scaling curves.")
+		fmt.Fprintln(os.Stderr, strings.Repeat("!", 72))
+	}
+
+	if *shardMode {
+		if *out == "" {
+			*out = "BENCH_shard.json"
+		}
+		shardReportMain(*out, *seed, *minSpeedup, *shardBldgs, *shardDur)
+		return
+	}
 	if *obsMode {
 		if *out == "" {
 			*out = "BENCH_obs.json"

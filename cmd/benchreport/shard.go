@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+// shardReport is BENCH_shard.json: the interference-domain sharded runner on
+// the grid campus, swept over worker counts. The identity-hash gate is
+// unconditional — every point must produce the same merged output — while the
+// speedup gate only applies on machines with enough cores to show one.
+type shardReport struct {
+	GoMaxProcs int                  `json:"gomaxprocs"`
+	NumCPU     int                  `json:"num_cpu"`
+	Duration   string               `json:"duration"`
+	Sweep      exp.ShardSweepResult `json:"sweep"`
+	// SpeedupGated reports whether the -min-speedup gate was enforced; it is
+	// false on machines with fewer than 4 CPUs, where a multi-worker sweep
+	// cannot speed up no matter how good the sharding is.
+	SpeedupGated bool `json:"speedup_gated"`
+}
+
+func shardReportMain(out string, seed int64, minSpeedup float64, buildings int, dur time.Duration) {
+	rep := shardReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	o := shardSweepOpts(seed, buildings, dur)
+	rep.Duration = dur.String()
+	fmt.Fprintf(os.Stderr, "shard sweep: %d buildings x %d APs x %d clients, %s sim time, workers %v...\n",
+		o.Buildings, o.APsPerBuilding, o.ClientsPerAP, rep.Duration, o.ShardCounts)
+	sweep, err := exp.ShardSweep(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: shard sweep: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Sweep = sweep
+
+	fail := false
+	// Determinism gate, unconditional: the sharded runner's contract is that
+	// the merged output does not depend on the worker count.
+	if !sweep.IdenticalOutput {
+		fmt.Fprintln(os.Stderr, "FAIL: output hash differs across worker counts — sharded-runner determinism violation:")
+		for _, p := range sweep.Points {
+			fmt.Fprintf(os.Stderr, "  workers=%d hash=%s\n", p.Workers, p.Hash)
+		}
+		fail = true
+	}
+
+	// Speedup gate, conditional: only meaningful with real cores underneath.
+	rep.SpeedupGated = minSpeedup > 0 && rep.NumCPU >= 4
+	if minSpeedup > 0 && !rep.SpeedupGated {
+		fmt.Fprintf(os.Stderr,
+			"WARN: skipping the -min-speedup %.2fx gate: this machine has %d CPU(s); a worker sweep cannot exhibit parallel speedup here. Re-run on a >=4-core host to enforce it.\n",
+			minSpeedup, rep.NumCPU)
+	}
+	if rep.SpeedupGated {
+		got := 0.0
+		for _, p := range sweep.Points {
+			if p.Workers == 4 {
+				got = p.Speedup
+			}
+		}
+		if got < minSpeedup {
+			fmt.Fprintf(os.Stderr, "FAIL: speedup at 4 workers is %.2fx, below the -min-speedup gate %.2fx\n",
+				got, minSpeedup)
+			fail = true
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s [gomaxprocs=%d num_cpu=%d]: %d APs, %d domains, identical_output=%v,",
+		out, rep.GoMaxProcs, rep.NumCPU, sweep.APs, sweep.Domains, sweep.IdenticalOutput)
+	for _, p := range sweep.Points {
+		fmt.Printf(" w%d %.2fs (%.2fx)", p.Workers, p.WallSec, p.Speedup)
+	}
+	fmt.Println()
+	if fail {
+		os.Exit(1)
+	}
+}
+
+// shardSweepOpts sizes the sweep. The committed BENCH_shard.json uses the
+// paper-scale 1,000-AP campus (50 buildings); the bench-shard CI gate shrinks
+// the building count and duration so the four-point sweep stays tractable,
+// which exercises the identical gates on a smaller partition.
+func shardSweepOpts(seed int64, buildings int, dur time.Duration) exp.ShardOptions {
+	return exp.ShardOptions{
+		Seed:           seed,
+		Buildings:      buildings,
+		APsPerBuilding: 20,
+		ClientsPerAP:   2,
+		Duration:       sim.Time(dur.Nanoseconds()),
+		Warmup:         sim.Time(dur.Nanoseconds()) / 10,
+		ShardCounts:    []int{1, 2, 4, 8},
+	}
+}

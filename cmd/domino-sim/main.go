@@ -30,6 +30,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/scheme"
+	"repro/internal/shard"
 	"repro/internal/spec"
 	"repro/internal/stats"
 )
@@ -38,8 +39,10 @@ func main() {
 	var (
 		specFile  = flag.String("spec", "", "run the declarative scenario in this JSON spec file (topology/scheme/traffic flags are ignored; -trace/-tracefile/-metrics still apply)")
 		topoFlag  = flag.String("topo", "fig1", strings.Join(spec.Kinds(), "|"))
-		aps       = flag.Int("aps", 10, "APs for campus/random topologies")
-		clients   = flag.Int("clients", 2, "clients per AP for campus/random topologies")
+		aps       = flag.Int("aps", 10, "APs for campus/random topologies (per building for grid)")
+		clients   = flag.Int("clients", 2, "clients per AP for campus/random/grid topologies")
+		buildings = flag.Int("buildings", 0, "building count for the grid topology (0 = default 4)")
+		shards    = flag.Int("shards", 0, "run sharded by interference domain on this many workers (0 = single engine; output is identical at any shard count)")
 		schemeFl  = flag.String("scheme", "domino", "registered scheme: "+strings.Join(scheme.Names(), "|"))
 		traffic   = flag.String("traffic", "saturated", "saturated|udp|tcp")
 		downMbps  = flag.Float64("down", 10, "downlink offered Mbps per link (udp/tcp)")
@@ -92,8 +95,11 @@ func main() {
 		}
 	} else {
 		t := spec.Topology{Kind: *topoFlag}
-		if t.Kind == "campus" || t.Kind == "random" {
+		if t.Kind == "campus" || t.Kind == "random" || t.Kind == "grid" {
 			t.APs, t.Clients = *aps, *clients
+		}
+		if t.Kind == "grid" {
+			t.Buildings = *buildings
 		}
 		downOn, upOn := !*noDown, !*noUp
 		sp = spec.Spec{
@@ -113,9 +119,19 @@ func main() {
 	}
 	d, _ := scheme.Lookup(sp.Scheme) // Validate guarantees the lookup
 
+	// The -shards flag overrides the spec's shards knob; either selects the
+	// interference-domain sharded runner (internal/shard).
+	shardWorkers := sp.ShardWorkers()
+	if *shards > 0 {
+		shardWorkers = *shards
+	}
+
 	if *reps > 1 {
 		if *trace || *traceFile != "" {
 			fmt.Fprintln(os.Stderr, "-trace/-tracefile are ignored with -reps > 1 (interleaved output)")
+		}
+		if shardWorkers > 0 {
+			fmt.Fprintln(os.Stderr, "-shards is ignored with -reps > 1 (repetitions already fan out across workers)")
 		}
 		serveDebug()
 		runReps(sp, d.Name, *reps, *workers)
@@ -194,7 +210,13 @@ func main() {
 	}
 	serveDebug()
 
-	res, err := core.RunScenario(sc)
+	var res core.Result
+	var shardRep *shard.Report
+	if shardWorkers > 0 {
+		res, shardRep, err = shard.Run(sc, shard.Options{Workers: shardWorkers})
+	} else {
+		res, err = core.RunScenario(sc)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "domino-sim: %v\n", err)
 		os.Exit(1)
@@ -212,6 +234,11 @@ func main() {
 
 	fmt.Printf("scheme=%s topo=%s traffic=%s duration=%v seed=%d\n",
 		d.Name, sp.Topology.Kind, sp.TrafficKind(), sc.Duration, sp.Seed)
+	if shardRep != nil {
+		st := shardRep.Partition.Stats
+		fmt.Printf("shard: domains=%d workers=%d windows=%d messages=%d cutEdges=%d crossLinkPairs=%d\n",
+			st.Domains, shardRep.Workers, shardRep.Windows, shardRep.Messages, st.CutEdges, st.CrossLinkPairs)
+	}
 	fmt.Printf("aggregate: %.2f Mbps   mean delay: %v   Jain fairness: %.3f\n",
 		res.AggregateMbps, res.MeanDelay, res.Fairness)
 	fmt.Println("per-link throughput (Mbps):")

@@ -130,6 +130,12 @@ type Scenario struct {
 	// flat pre-span shape); it only matters when Tracer is set.
 	NoSpans bool
 
+	// ObsSetup, when non-nil, adjusts the freshly created obs.Run before
+	// any engine wiring and before the run-start record — the hook sharded
+	// runs use to install per-domain span bases and node-id mappers. Unused
+	// (and never called) when neither Tracer nor Metrics is set.
+	ObsSetup func(*obs.Run)
+
 	// Live, when non-nil alongside Metrics, receives decimated metric
 	// snapshots during the run (and a final one), for the debug server's
 	// /debug/metrics endpoint.
@@ -166,14 +172,19 @@ type Result struct {
 	SkippedLinks []*topo.Link
 
 	// Scheme internals for deeper inspection (nil unless that scheme ran).
-	Domino     *domino.Engine
-	Dcf        *dcf.Engine
-	Centaur    *centaur.Engine
-	Omni       *strict.Omniscient
-	Collector  *stats.Collector
-	Misalign   *stats.Misalignment
-	TCPFlows   []*traffic.TCPFlow
-	dataLinkID map[int]bool
+	Domino    *domino.Engine
+	Dcf       *dcf.Engine
+	Centaur   *centaur.Engine
+	Omni      *strict.Omniscient
+	Collector *stats.Collector
+	Misalign  *stats.Misalignment
+	TCPFlows  []*traffic.TCPFlow
+	// DataLinkID flags the link IDs that carried offered load (data
+	// directions; TCP ACK links are excluded). DataMbps and Fairness are
+	// computed over exactly these links — exported so result mergers
+	// (internal/shard) can recompute the aggregates over a combined link
+	// set.
+	DataLinkID map[int]bool
 
 	// Breakdown partitions the run's airtime (idle/data/ack/…/overlap sums
 	// to Duration exactly); Snapshot freezes the metrics registry. Both are
@@ -194,14 +205,61 @@ func Run(s Scenario) Result {
 	return res
 }
 
+// Instance is a fully built, ready-to-run scenario: topology validated,
+// engine constructed through the scheme registry, traffic sources and the
+// engine's start events primed on the kernel, observability wired. It is
+// the decomposition RunScenario always performed, now exported so drivers
+// other than "run to the end in one call" exist: the shard runner
+// (internal/shard) builds one Instance per interference domain and advances
+// them in bounded-horizon windows.
+//
+// Drive the kernel via Step/StepBefore (or Kernel directly), then call
+// Finish exactly once after the clock reaches S.Duration.
+type Instance struct {
+	// S is the normalized scenario (defaults applied).
+	S Scenario
+	// Kernel is the instance's event kernel; its clock starts at zero with
+	// the engine start and traffic arrival events queued.
+	Kernel *sim.Kernel
+	// Medium is the PHY channel model bound to Kernel.
+	Medium *phy.Medium
+	// Graph is the conflict graph, nil when the scheme does not need one.
+	Graph *topo.ConflictGraph
+	// Engine is the scheme engine under test.
+	Engine mac.Engine
+	// Obs is the observability run, nil unless Tracer or Metrics was set.
+	Obs *obs.Run
+
+	hub      *mac.Hub
+	coll     *stats.Collector
+	res      Result
+	finished bool
+}
+
 // RunScenario executes the scenario through the scheme registry and returns
 // its measurements, or a descriptive error for invalid input.
 func RunScenario(s Scenario) (Result, error) {
+	inst, err := NewInstance(s)
+	if err != nil {
+		if inst != nil {
+			return inst.res, err
+		}
+		return Result{}, err
+	}
+	inst.Step(inst.S.Duration)
+	return inst.Finish(), nil
+}
+
+// NewInstance builds a scenario into a runnable Instance. On error the
+// returned instance is nil unless construction got far enough to resolve the
+// link set (the partial Result RunScenario historically returned alongside
+// the error).
+func NewInstance(s Scenario) (*Instance, error) {
 	if s.Net == nil {
-		return Result{}, fmt.Errorf("invalid network: Scenario.Net is nil")
+		return nil, fmt.Errorf("invalid network: Scenario.Net is nil")
 	}
 	if err := s.Net.Validate(); err != nil {
-		return Result{}, fmt.Errorf("invalid network: %w", err)
+		return nil, fmt.Errorf("invalid network: %w", err)
 	}
 	if s.PacketBytes == 0 {
 		s.PacketBytes = 512
@@ -214,7 +272,7 @@ func RunScenario(s Scenario) (Result, error) {
 	}
 	d, ok := scheme.Lookup(s.schemeName())
 	if !ok {
-		return Result{}, fmt.Errorf("unknown scheme %q (registered: %s)",
+		return nil, fmt.Errorf("unknown scheme %q (registered: %s)",
 			s.schemeName(), strings.Join(scheme.Names(), ", "))
 	}
 	links := s.Links
@@ -233,7 +291,8 @@ func RunScenario(s Scenario) (Result, error) {
 	medium := phy.NewMedium(k, s.Net.RSS, pcfg)
 	hub := &mac.Hub{}
 
-	res := Result{Links: links, dataLinkID: map[int]bool{}}
+	res := Result{Links: links, DataLinkID: map[int]bool{}}
+	inst := &Instance{S: s, Kernel: k, Medium: medium, Graph: g, hub: hub}
 
 	// Observability: one obs.Run spans the kernel, the medium and the MAC
 	// outcome stream; engines implementing scheme.Observable add their own
@@ -246,6 +305,9 @@ func RunScenario(s Scenario) (Result, error) {
 		}
 		if s.Live != nil {
 			orun.SetPublisher(s.Live)
+		}
+		if s.ObsSetup != nil {
+			s.ObsSetup(orun)
 		}
 		k.OnEvent(orun.KernelHook())
 		medium.SetProbe(orun)
@@ -273,7 +335,8 @@ func RunScenario(s Scenario) (Result, error) {
 	}
 	if s.Tune != nil {
 		if err := s.Tune(cfg); err != nil {
-			return res, fmt.Errorf("scheme %s: tune: %w", d.Name, err)
+			inst.res = res
+			return inst, fmt.Errorf("scheme %s: tune: %w", d.Name, err)
 		}
 	}
 	engine, err := d.Build(scheme.BuildContext{
@@ -281,7 +344,8 @@ func RunScenario(s Scenario) (Result, error) {
 		Events: hub, Params: params,
 	}, cfg)
 	if err != nil {
-		return res, fmt.Errorf("scheme %s: %w", d.Name, err)
+		inst.res = res
+		return inst, fmt.Errorf("scheme %s: %w", d.Name, err)
 	}
 	if orun != nil {
 		if o, ok := engine.(scheme.Observable); ok {
@@ -319,7 +383,7 @@ func RunScenario(s Scenario) (Result, error) {
 	switch s.Traffic {
 	case Saturated:
 		for _, l := range links {
-			res.dataLinkID[l.ID] = true
+			res.DataLinkID[l.ID] = true
 			src := traffic.NewSaturated(k, engine, l, s.PacketBytes, 8)
 			hub.Add(src)
 			src.Start()
@@ -334,7 +398,7 @@ func RunScenario(s Scenario) (Result, error) {
 				res.SkippedLinks = append(res.SkippedLinks, l)
 				continue
 			}
-			res.dataLinkID[l.ID] = true
+			res.DataLinkID[l.ID] = true
 			traffic.NewUDP(k, engine, l, rate, s.PacketBytes).Start()
 		}
 	case TCP:
@@ -357,7 +421,7 @@ func RunScenario(s Scenario) (Result, error) {
 			}
 			if s.DownMbps != 0 {
 				f := traffic.NewTCPFlow(k, engine, id, down, up, traffic.DefaultTCPConfig(s.DownMbps))
-				res.dataLinkID[down.ID] = true
+				res.DataLinkID[down.ID] = true
 				hub.Add(f)
 				res.TCPFlows = append(res.TCPFlows, f)
 				f.Start()
@@ -365,7 +429,7 @@ func RunScenario(s Scenario) (Result, error) {
 			}
 			if s.UpMbps != 0 {
 				f := traffic.NewTCPFlow(k, engine, id, up, down, traffic.DefaultTCPConfig(s.UpMbps))
-				res.dataLinkID[up.ID] = true
+				res.DataLinkID[up.ID] = true
 				hub.Add(f)
 				res.TCPFlows = append(res.TCPFlows, f)
 				f.Start()
@@ -373,33 +437,63 @@ func RunScenario(s Scenario) (Result, error) {
 			}
 		}
 	default:
-		return res, fmt.Errorf("unknown traffic kind %d", int(s.Traffic))
+		inst.res = res
+		return inst, fmt.Errorf("unknown traffic kind %d", int(s.Traffic))
 	}
 
 	engine.Start()
-	k.RunUntil(s.Duration)
 
-	if orun != nil {
-		bd := orun.Finish(s.Duration)
+	inst.Engine = engine
+	inst.Obs = orun
+	inst.coll = coll
+	inst.res = res
+	return inst, nil
+}
+
+// Collector returns the instance's statistics collector, live during the
+// run — window drivers read it at barriers to build progress digests.
+func (i *Instance) Collector() *stats.Collector { return i.coll }
+
+// Step executes events up to and including t and returns the clock
+// (sim.Kernel.RunUntil).
+func (i *Instance) Step(t sim.Time) sim.Time { return i.Kernel.RunUntil(t) }
+
+// StepBefore executes events strictly before horizon and advances the clock
+// to it (sim.Kernel.RunBefore) — the conservative-lookahead window step.
+func (i *Instance) StepBefore(horizon sim.Time) sim.Time { return i.Kernel.RunBefore(horizon) }
+
+// Finish closes the observability run and computes the scenario's
+// measurements. Call exactly once, after the kernel has been driven to
+// S.Duration; repeated calls return the cached Result.
+func (i *Instance) Finish() Result {
+	if i.finished {
+		return i.res
+	}
+	i.finished = true
+	s := i.S
+	res := i.res
+	if i.Obs != nil {
+		bd := i.Obs.Finish(s.Duration)
 		res.Breakdown = &bd
 		if s.Metrics != nil {
 			res.Snapshot = s.Metrics.Snapshot()
 		}
 	}
-
+	coll := i.coll
 	res.PerLinkMbps = coll.PerLinkMbps(s.Duration)
 	res.AggregateMbps = coll.AggregateMbps(s.Duration)
 	res.MeanDelay = coll.MeanDelay()
 	res.MeanDelayPerLink = coll.MeanDelayPerLink()
 	var dataRates []float64
 	for id := range res.PerLinkMbps {
-		if res.dataLinkID[id] {
+		if res.DataLinkID[id] {
 			res.DataMbps += res.PerLinkMbps[id]
 			dataRates = append(dataRates, res.PerLinkMbps[id])
 		}
 	}
 	res.Fairness = stats.JainIndex(dataRates)
-	return res, nil
+	i.res = res
+	return res
 }
 
 func otherEnd(l *topo.Link) phy.NodeID {

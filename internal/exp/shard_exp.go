@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// ShardOptions scales the sharded-runner sweep.
+type ShardOptions struct {
+	Seed int64
+	// Buildings/APsPerBuilding/ClientsPerAP size the grid campus. The
+	// benchmark default is the 1,000-AP campus (50 buildings × 20 APs × 2
+	// clients).
+	Buildings, APsPerBuilding, ClientsPerAP int
+	// Duration is the simulated time per point.
+	Duration sim.Time
+	Warmup   sim.Time
+	// ShardCounts are the worker counts to sweep (default 1, 2, 4, 8).
+	ShardCounts []int
+}
+
+// ShardPoint is one sweep point: the same scenario executed at one worker
+// count.
+type ShardPoint struct {
+	Workers int     `json:"workers"`
+	WallSec float64 `json:"wall_sec"`
+	// Speedup is serial wall-clock over this point's wall-clock.
+	Speedup float64 `json:"speedup"`
+	// Hash fingerprints the run's merged output (per-link goodput, delays,
+	// delivery counters); identical hashes across points are the
+	// determinism gate.
+	Hash string `json:"hash"`
+}
+
+// ShardSweepResult is the campus-scale sharded-runner benchmark: wall-clock
+// and output hash per worker count, plus the partition shape.
+type ShardSweepResult struct {
+	Buildings      int          `json:"buildings"`
+	APsPerBuilding int          `json:"aps_per_building"`
+	ClientsPerAP   int          `json:"clients_per_ap"`
+	APs            int          `json:"aps"`
+	Nodes          int          `json:"nodes"`
+	Links          int          `json:"links"`
+	Domains        int          `json:"domains"`
+	CutEdges       int          `json:"cut_edges"`
+	CrossLinkPairs int          `json:"cross_link_pairs"`
+	Windows        int          `json:"windows"`
+	Messages       int          `json:"messages"`
+	Points         []ShardPoint `json:"points"`
+	// IdenticalOutput reports whether every point produced the same output
+	// hash — the sharded runner's determinism contract.
+	IdenticalOutput bool `json:"identical_output"`
+}
+
+func (o ShardOptions) withDefaults() ShardOptions {
+	if o.Buildings == 0 {
+		o.Buildings = 50
+	}
+	if o.APsPerBuilding == 0 {
+		o.APsPerBuilding = 20
+	}
+	if o.ClientsPerAP == 0 {
+		o.ClientsPerAP = 2
+	}
+	if o.Duration == 0 {
+		o.Duration = 200 * sim.Millisecond
+	}
+	if len(o.ShardCounts) == 0 {
+		o.ShardCounts = []int{1, 2, 4, 8}
+	}
+	return o
+}
+
+// ShardSweep runs the grid-campus scenario through the interference-domain
+// sharded runner at each worker count and reports wall-clock plus an output
+// fingerprint per point. The scenario is identical across points — only the
+// worker count varies — so differing hashes mean a determinism bug, and the
+// wall-clock ratio is the sharding speedup.
+func ShardSweep(o ShardOptions) (ShardSweepResult, error) {
+	o = o.withDefaults()
+	net := topo.GridCampus(o.Seed, o.Buildings, o.APsPerBuilding, o.ClientsPerAP)
+	res := ShardSweepResult{
+		Buildings:      o.Buildings,
+		APsPerBuilding: o.APsPerBuilding,
+		ClientsPerAP:   o.ClientsPerAP,
+		APs:            len(net.APs),
+		Nodes:          net.NumNodes(),
+	}
+	scenario := func() core.Scenario {
+		return core.Scenario{
+			Net:      net,
+			Downlink: true,
+			Uplink:   true,
+			Scheme:   core.DOMINO,
+			Seed:     o.Seed,
+			Duration: o.Duration,
+			Warmup:   o.Warmup,
+		}
+	}
+	for i, workers := range o.ShardCounts {
+		t0 := time.Now()
+		r, rep, err := shard.Run(scenario(), shard.Options{Workers: workers})
+		if err != nil {
+			return res, fmt.Errorf("exp: shard sweep workers=%d: %w", workers, err)
+		}
+		wall := time.Since(t0).Seconds()
+		if i == 0 {
+			res.Links = len(r.Links)
+			res.Domains = rep.Partition.Stats.Domains
+			res.CutEdges = rep.Partition.Stats.CutEdges
+			res.CrossLinkPairs = rep.Partition.Stats.CrossLinkPairs
+			res.Windows = rep.Windows
+			res.Messages = rep.Messages
+		}
+		res.Points = append(res.Points, ShardPoint{
+			Workers: workers,
+			WallSec: wall,
+			Hash:    resultHash(r),
+		})
+	}
+	res.IdenticalOutput = true
+	for _, p := range res.Points {
+		if p.Hash != res.Points[0].Hash {
+			res.IdenticalOutput = false
+		}
+	}
+	if serial := res.Points[0].WallSec; serial > 0 {
+		for i := range res.Points {
+			res.Points[i].Speedup = serial / res.Points[i].WallSec
+		}
+	}
+	return res, nil
+}
+
+// resultHash fingerprints a run's measurements: every per-link goodput and
+// delivery tally, the aggregate numbers, and the delay sums. Any divergence
+// between two runs of the same scenario shows up here.
+func resultHash(r core.Result) string {
+	h := fnv.New64a()
+	f64 := func(v float64) {
+		bits := math.Float64bits(v)
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(bits >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	f64(r.AggregateMbps)
+	f64(r.DataMbps)
+	f64(r.Fairness)
+	f64(float64(r.MeanDelay))
+	f64(float64(r.MeanDelayPerLink))
+	for _, v := range r.PerLinkMbps {
+		f64(v)
+	}
+	for id := 0; id < r.Collector.NumLinks(); id++ {
+		s := r.Collector.Link(id)
+		f64(float64(s.DeliveredPkts))
+		f64(float64(s.DeliveredB))
+		f64(float64(s.DroppedPkts))
+		f64(float64(s.DelaySum))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

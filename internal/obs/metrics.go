@@ -115,6 +115,32 @@ func (m *Metrics) LogHist(name string) *LogHist {
 	return h
 }
 
+// Merge folds registry o into m: counters add, histograms (both kinds)
+// merge exactly, and gauges keep the maximum of the two values. The gauge
+// rule is a deliberate choice for cross-shard aggregation — every gauge the
+// runtime registers is a high-water or last-peak quantity (queue peaks,
+// per-client AoI peaks, airtime totals are counters), so max is the only
+// order-independent combination that stays meaningful. Merging is
+// commutative and associative, so folding shard registries in any order
+// yields the same aggregate.
+func (m *Metrics) Merge(o *Metrics) {
+	if o == nil {
+		return
+	}
+	for name, c := range o.counters {
+		m.Counter(name).Add(c.Value())
+	}
+	for name, g := range o.gauges {
+		m.Gauge(name).SetMax(g.Value())
+	}
+	for name, h := range o.hists {
+		m.Histogram(name).cdf.Merge(&h.cdf)
+	}
+	for name, h := range o.lhists {
+		m.LogHist(name).Merge(h)
+	}
+}
+
 // MetricValue is one entry of a Snapshot.
 type MetricValue struct {
 	Name  string  `json:"name"`

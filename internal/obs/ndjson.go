@@ -54,6 +54,10 @@ func AppendRecord(buf []byte, r Record) []byte {
 		buf = append(buf, `,"pa":`...)
 		buf = strconv.AppendInt(buf, r.Parent, 10)
 	}
+	if r.Shard != 0 {
+		buf = append(buf, `,"sh":`...)
+		buf = strconv.AppendInt(buf, int64(r.Shard), 10)
+	}
 	if r.Aux != "" {
 		buf = append(buf, `,"aux":`...)
 		buf = appendJSONString(buf, r.Aux)
@@ -196,6 +200,7 @@ type jsonRecord struct {
 	Dur  int64  `json:"dur"`
 	Sp   int64  `json:"sp"`
 	Pa   int64  `json:"pa"`
+	Sh   int    `json:"sh"`
 	Aux  string `json:"aux"`
 	OK   bool   `json:"ok"`
 }
@@ -247,6 +252,7 @@ func ScanNDJSON(r io.Reader, fn func(Record) error, unknown func(kind string)) (
 			Dur:    sim.Time(jr.Dur),
 			Span:   jr.Sp,
 			Parent: jr.Pa,
+			Shard:  jr.Sh,
 			Aux:    jr.Aux,
 			OK:     jr.OK,
 		}

@@ -142,6 +142,7 @@ type Record struct {
 	Dur    sim.Time // duration payload (airtime), 0 if n/a
 	Span   int64    // causal span this record belongs to, 0 if none
 	Parent int64    // span that caused this record, 0 if none/root
+	Shard  int      // 1-based interference-domain shard id, 0 if unsharded
 	Aux    string   // kind-specific tag (frame kind, scheme, "data"/"fake")
 	OK     bool
 }

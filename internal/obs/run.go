@@ -55,7 +55,8 @@ type Run struct {
 
 	pub *MetricsPublisher // live snapshot publisher, nil unless attached
 
-	now func() sim.Time // simulation clock, for hooks with no timestamp of their own
+	now     func() sim.Time // simulation clock, for hooks with no timestamp of their own
+	mapNode func(int) int   // node-id mapping for metric names, nil = identity
 }
 
 // NewRun returns a Run emitting to tr (may be nil) and m (may be nil).
@@ -112,6 +113,26 @@ func (r *Run) SetPublisher(p *MetricsPublisher) *Run {
 // returns r for chaining.
 func (r *Run) BindClock(now func() sim.Time) *Run {
 	r.now = now
+	return r
+}
+
+// SetNodeMapper installs an id mapping applied when metric names embed a
+// node id (the per-client AoI gauges). Sharded runs pass the domain's
+// local→global node map so a merged registry names every client by its
+// global id; unsharded runs leave it nil (identity). Returns r for chaining.
+func (r *Run) SetNodeMapper(f func(int) int) *Run {
+	r.mapNode = f
+	return r
+}
+
+// SetSpanBase restarts the span allocator at base (first id base+1).
+// Sharded runs give each domain a disjoint, domain-indexed base so span ids
+// in the merged trace are unique and independent of the shard count. No-op
+// when spans are disabled; must run before engine wiring.
+func (r *Run) SetSpanBase(base int64) *Run {
+	if r.spans != nil {
+		r.spans = NewSpansAt(base)
+	}
 	return r
 }
 
@@ -243,7 +264,11 @@ func (r *Run) noteAoI(p *mac.Packet, now sim.Time) {
 	r.aoiLast[client] = p.Enqueued
 	g := r.aoiGauge[client]
 	if g == nil {
-		g = r.metrics.Gauge("aoi.client." + strconv.Itoa(client) + "_us")
+		name := client
+		if r.mapNode != nil {
+			name = r.mapNode(client)
+		}
+		g = r.metrics.Gauge("aoi.client." + strconv.Itoa(name) + "_us")
 		r.aoiGauge[client] = g
 	}
 	g.Set((now - p.Enqueued).Microseconds())

@@ -17,6 +17,13 @@ type Spans struct {
 // NewSpans returns a fresh allocator whose first Next is 1.
 func NewSpans() *Spans { return &Spans{} }
 
+// NewSpansAt returns an allocator whose first Next is base+1. Sharded runs
+// give each interference domain a disjoint base (domain index shifted far
+// above any per-domain span count), so span ids stay unique — and, because
+// the base depends only on the domain, identical — in a merged trace at any
+// shard count.
+func NewSpansAt(base int64) *Spans { return &Spans{last: base} }
+
 // Next returns a fresh span id. Not safe for concurrent use; spans belong to
 // one simulation's event loop.
 func (s *Spans) Next() int64 {

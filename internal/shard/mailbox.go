@@ -1,0 +1,204 @@
+package shard
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Message is one cross-shard delivery: a coupling-audit digest a domain
+// sends its coupled peer at a window barrier, or (in tests) an injected
+// effect. Channels are per directed domain pair and strictly ordered by
+// Seq, so delivery order is a pure function of the partition.
+type Message struct {
+	// From and To are domain indices.
+	From, To int
+	// Seq is the per-channel sequence number (0, 1, 2, … per direction).
+	Seq int
+	// At is the window horizon the digest summarizes activity up to.
+	At sim.Time
+	// Digest is the sender's cumulative boundary activity: delivered-packet
+	// count over the sender's links whose AP sits on a severed conflict
+	// edge toward the receiver. The receiver audits it (Report.Audits);
+	// the residual interference itself stays approximated away, which is
+	// exactly what accepting the RSS cut means.
+	Digest int64
+	// Apply, when non-nil, runs against the receiving domain's instance at
+	// delivery time (before the window executes) — the hook tests use to
+	// prove cross-shard effects land deterministically.
+	Apply func(*core.Instance)
+}
+
+// PairAudit summarizes one coupled domain pair's channel after the run.
+type PairAudit struct {
+	// A and B are the domain indices, A < B.
+	A, B int
+	// Messages counts digests routed over the pair (both directions).
+	Messages int
+	// FinalAB and FinalBA are the last digests routed A→B and B→A: each
+	// side's cumulative boundary deliveries as of the final barrier.
+	FinalAB, FinalBA int64
+}
+
+// router owns the cross-shard channels. Worker goroutines touch only their
+// own domain's outbox/inbox slices and per-sender sequence counters; all
+// shared bookkeeping happens in route(), which runs single-threaded between
+// ForEach barriers.
+type router struct {
+	// peers[d] lists d's coupled peer domains, sorted ascending.
+	peers map[int][]int
+	// boundary[{from,to}] lists from's local link ids whose AP sits on a
+	// severed edge toward to — the digest's summation set.
+	boundary map[[2]int][]int
+	// seq[{from,to}] is the next sequence number per directed channel.
+	// Written only by domain from's goroutine.
+	seq map[[2]int]*int
+	// outbox[d] holds messages domain d emitted this window; inbox[d]
+	// holds messages staged for d's next window, sorted by (From, Seq).
+	outbox, inbox [][]Message
+
+	audit    map[[2]int]*PairAudit
+	pairList [][2]int
+	messages int
+}
+
+// newRouter builds the channel topology from the partition's severed edges.
+func newRouter(p *topo.Partition) *router {
+	r := &router{
+		peers:    map[int][]int{},
+		boundary: map[[2]int][]int{},
+		seq:      map[[2]int]*int{},
+		outbox:   make([][]Message, len(p.Domains)),
+		inbox:    make([][]Message, len(p.Domains)),
+		audit:    map[[2]int]*PairAudit{},
+		pairList: p.CrossDomainPairs(),
+	}
+	for _, pr := range r.pairList {
+		r.audit[pr] = &PairAudit{A: pr[0], B: pr[1]}
+		for _, dir := range [2][2]int{{pr[0], pr[1]}, {pr[1], pr[0]}} {
+			r.peers[dir[0]] = append(r.peers[dir[0]], dir[1])
+			r.seq[dir] = new(int)
+		}
+	}
+	for d := range r.peers {
+		sort.Ints(r.peers[d])
+	}
+	// Boundary link sets: for every severed edge, the links of each
+	// endpoint AP face the opposite domain.
+	local := map[int]map[int]int{} // domain → global link id → local id
+	for d := range p.Domains {
+		local[d] = map[int]int{}
+		for i, g := range p.Domains[d].Links {
+			local[d][g] = i
+		}
+	}
+	apLinks := map[int][]int{} // global AP node → global link ids
+	for i, l := range p.Graph.Links {
+		apLinks[int(l.AP)] = append(apLinks[int(l.AP)], i)
+	}
+	add := func(ap, from, to int) {
+		for _, g := range apLinks[ap] {
+			key := [2]int{from, to}
+			r.boundary[key] = append(r.boundary[key], local[from][g])
+		}
+	}
+	for _, c := range p.Cuts {
+		da, db := p.NodeDomain[c.A], p.NodeDomain[c.B]
+		if da == db {
+			continue
+		}
+		add(int(c.A), da, db)
+		add(int(c.B), db, da)
+	}
+	for key := range r.boundary {
+		sort.Ints(r.boundary[key])
+	}
+	return r
+}
+
+// pairs returns the number of coupled domain pairs (0: barrier-free run).
+func (r *router) pairs() int { return len(r.pairList) }
+
+// emit queues domain d's per-peer digests for the window ending at h.
+// Runs on d's worker goroutine; touches only d-owned state.
+func (r *router) emit(d int, inst *core.Instance, h sim.Time) {
+	coll := inst.Collector()
+	for _, peer := range r.peers[d] {
+		key := [2]int{d, peer}
+		var digest int64
+		for _, l := range r.boundary[key] {
+			digest += int64(coll.Link(l).DeliveredPkts)
+		}
+		s := r.seq[key]
+		r.outbox[d] = append(r.outbox[d], Message{
+			From: d, To: peer, Seq: *s, At: h, Digest: digest,
+		})
+		*s++
+	}
+}
+
+// route moves every outbox message into its destination inbox and updates
+// the audits. Single-threaded: call only between ForEach barriers.
+func (r *router) route() {
+	for d := range r.inbox {
+		r.inbox[d] = r.inbox[d][:0]
+	}
+	for from := range r.outbox {
+		for _, m := range r.outbox[from] {
+			r.inbox[m.To] = append(r.inbox[m.To], m)
+			r.messages++
+			key := [2]int{m.From, m.To}
+			if key[0] > key[1] {
+				key[0], key[1] = key[1], key[0]
+			}
+			a := r.audit[key]
+			if a == nil { // injected message on an uncoupled pair
+				a = &PairAudit{A: key[0], B: key[1]}
+				r.audit[key] = a
+				r.pairList = append(r.pairList, key)
+			}
+			a.Messages++
+			if m.From == a.A {
+				a.FinalAB = m.Digest
+			} else {
+				a.FinalBA = m.Digest
+			}
+		}
+		r.outbox[from] = r.outbox[from][:0]
+	}
+}
+
+// inject stages a message directly (test hook for the Apply path).
+func (r *router) inject(m Message) {
+	r.outbox[m.From] = append(r.outbox[m.From], m)
+}
+
+// deliver applies domain d's staged messages in (From, Seq) order. Runs on
+// d's worker goroutine before the window executes.
+func (r *router) deliver(d int, inst *core.Instance) {
+	box := r.inbox[d]
+	sort.Slice(box, func(i, j int) bool {
+		if box[i].From != box[j].From {
+			return box[i].From < box[j].From
+		}
+		return box[i].Seq < box[j].Seq
+	})
+	for _, m := range box {
+		if m.Apply != nil {
+			m.Apply(inst)
+		}
+	}
+	r.inbox[d] = box[:0]
+}
+
+// audits returns the per-pair audit totals in canonical order.
+func (r *router) audits() []PairAudit {
+	out := make([]PairAudit, 0, len(r.audit))
+	for _, a := range r.audit {
+		out = append(out, *a)
+	}
+	sortAudits(out)
+	return out
+}

@@ -1,0 +1,38 @@
+package shard
+
+import (
+	"repro/internal/obs"
+	"repro/internal/phy"
+)
+
+// remapTracer buffers one domain's trace records with local ids rewritten
+// to the global id space and the shard tag set. Per-domain run framing
+// (run_start / run_end / metric summaries) is dropped — the merged stream
+// emits one global set of those instead.
+type remapTracer struct {
+	domain  int          // domain index (Shard tag is domain+1)
+	nodeMap []phy.NodeID // local node id → global
+	linkMap []int        // local link id → global
+	recs    []obs.Record
+}
+
+func newRemapTracer(domain int, nodeMap []phy.NodeID, linkMap []int) *remapTracer {
+	return &remapTracer{domain: domain, nodeMap: nodeMap, linkMap: linkMap}
+}
+
+// Emit implements obs.Tracer. It runs inside the domain's event loop on the
+// domain's worker goroutine; the buffer is domain-owned.
+func (t *remapTracer) Emit(r obs.Record) {
+	switch r.Kind {
+	case obs.KindRunStart, obs.KindRunEnd, obs.KindMetric:
+		return
+	}
+	if r.Node >= 0 {
+		r.Node = int(t.nodeMap[r.Node])
+	}
+	if r.Link >= 0 {
+		r.Link = t.linkMap[r.Link]
+	}
+	r.Shard = t.domain + 1
+	t.recs = append(t.recs, r)
+}

@@ -257,7 +257,35 @@ func (k *Kernel) Run() Time { return k.RunUntil(MaxTime) }
 // RunUntil executes events with timestamps <= deadline, then sets the clock to
 // the deadline (if the queue drained earlier the clock stays at the last event
 // fired). It returns the final clock value.
-func (k *Kernel) RunUntil(deadline Time) Time {
+func (k *Kernel) RunUntil(deadline Time) Time { return k.run(deadline, true) }
+
+// RunBefore executes events with timestamps strictly below horizon, then
+// advances the clock to the horizon. It is the bounded-horizon window step of
+// conservative-lookahead execution: events at exactly the horizon stay
+// queued, so work injected at the window boundary (a cross-shard delivery)
+// can still schedule at the boundary instant and interleave with local
+// boundary events in plain schedule order on the next window. Resumable:
+// successive RunBefore calls with increasing horizons followed by a final
+// RunUntil fire exactly the events one RunUntil would, in the same order.
+func (k *Kernel) RunBefore(horizon Time) Time { return k.run(horizon, false) }
+
+// NextEventTime returns the timestamp of the earliest queued event, or
+// (0, false) when the queue is empty — the lookahead peek a shard runner
+// uses to skip empty windows.
+func (k *Kernel) NextEventTime() (Time, bool) {
+	var ev *event
+	if k.ref != nil {
+		ev = k.ref.peek()
+	} else {
+		ev = k.q.peek()
+	}
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
+func (k *Kernel) run(limit Time, inclusive bool) Time {
 	k.stopped = false
 	for !k.stopped {
 		var ev *event
@@ -266,7 +294,7 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 		} else {
 			ev = k.q.peek()
 		}
-		if ev == nil || ev.at > deadline {
+		if ev == nil || ev.at > limit || (!inclusive && ev.at == limit) {
 			break
 		}
 		if k.ref != nil {
@@ -290,8 +318,8 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 		k.release(ev)
 		fn()
 	}
-	if !k.stopped && deadline != MaxTime && k.now < deadline {
-		k.now = deadline
+	if !k.stopped && limit != MaxTime && k.now < limit {
+		k.now = limit
 	}
 	return k.now
 }

@@ -63,6 +63,13 @@ type Spec struct {
 	// MisalignSlots arms DOMINO's misalignment probe (Fig 11).
 	MisalignSlots int `json:"misalign_slots,omitempty"`
 
+	// Shards, when set, runs the scenario sharded by interference domain
+	// (internal/shard) on this many workers. Must be ≥ 1 when present;
+	// omit the field for the single-engine run. The output is byte-identical
+	// at any value — the knob only controls parallelism. Incompatible with
+	// an explicit Links list.
+	Shards *int `json:"shards,omitempty"`
+
 	// SchemeConfig is an optional JSON object unmarshalled over the
 	// scheme's default config after the generic knobs are applied. Keys are
 	// the Go field names of the scheme's Config struct (case-insensitive),
@@ -143,6 +150,15 @@ func (s Spec) DownlinkEnabled() bool { return s.Downlink == nil || *s.Downlink }
 // UplinkEnabled reports whether uplinks are built (default true).
 func (s Spec) UplinkEnabled() bool { return s.Uplink == nil || *s.Uplink }
 
+// ShardWorkers returns the sharded-run worker count, 0 when the spec asks
+// for the single-engine path.
+func (s Spec) ShardWorkers() int {
+	if s.Shards == nil {
+		return 0
+	}
+	return *s.Shards
+}
+
 // TrafficKind returns the normalized workload name ("saturated", "udp",
 // "tcp"); empty input means saturated.
 func (s Spec) TrafficKind() string {
@@ -195,6 +211,14 @@ func (s Spec) Validate() error {
 	}
 	if s.MisalignSlots < 0 {
 		return fmt.Errorf("spec: negative misalign_slots %d", s.MisalignSlots)
+	}
+	if s.Shards != nil {
+		if *s.Shards < 1 {
+			return fmt.Errorf("spec: shards must be ≥ 1 (got %d); omit the field for a single-engine run", *s.Shards)
+		}
+		if len(s.Links) > 0 {
+			return fmt.Errorf("spec: shards is incompatible with an explicit links list (sharded runs rebuild links per interference domain from the direction flags)")
+		}
 	}
 	if err := s.validateTraffic(); err != nil {
 		return err

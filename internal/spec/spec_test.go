@@ -18,6 +18,7 @@ import (
 )
 
 func boolPtr(b bool) *bool      { return &b }
+func intPtr(n int) *int         { return &n }
 func f64Ptr(f float64) *float64 { return &f }
 func i64Ptr(i int64) *int64     { return &i }
 
@@ -182,6 +183,30 @@ func TestValidateCatalog(t *testing.T) {
 		{"dcf knob ok", func(s *spec.Spec) {
 			s.SchemeConfig = json.RawMessage(`{"CWMin": 8}`)
 		}, ""},
+		{"shards omitted ok", func(s *spec.Spec) { s.Shards = nil }, ""},
+		{"shards 1 ok", func(s *spec.Spec) { s.Shards = intPtr(1) }, ""},
+		{"shards 8 ok", func(s *spec.Spec) { s.Shards = intPtr(8) }, ""},
+		{"shards zero rejected", func(s *spec.Spec) { s.Shards = intPtr(0) }, "shards must be ≥ 1"},
+		{"shards negative rejected", func(s *spec.Spec) { s.Shards = intPtr(-2) }, "shards must be ≥ 1"},
+		{"shards with explicit links rejected", func(s *spec.Spec) {
+			s.Shards = intPtr(2)
+			s.Links = []spec.Link{{Sender: 0, Receiver: 1, Downlink: true}}
+		}, "incompatible with an explicit links list"},
+		{"grid topology ok", func(s *spec.Spec) {
+			s.Topology = spec.Topology{Kind: "grid", Buildings: 4, APs: 2, Clients: 2}
+		}, ""},
+		{"grid default buildings ok", func(s *spec.Spec) {
+			s.Topology = spec.Topology{Kind: "grid", APs: 2, Clients: 2}
+		}, ""},
+		{"grid without sizes", func(s *spec.Spec) {
+			s.Topology = spec.Topology{Kind: "grid"}
+		}, "needs aps"},
+		{"grid with nodes", func(s *spec.Spec) {
+			s.Topology = spec.Topology{Kind: "grid", APs: 2, Clients: 2, Nodes: 10}
+		}, "do not apply to the grid topology"},
+		{"campus with buildings", func(s *spec.Spec) {
+			s.Topology = spec.Topology{Kind: "campus", APs: 2, Clients: 2, Buildings: 3}
+		}, "grid topology only"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -14,11 +14,16 @@ import (
 // topology parsing lives; both CLIs and the spec layer build through it.
 type Topology struct {
 	// Kind is one of fig1, fig7, fig13a, fig13b, sc, ht, et, campus,
-	// random.
+	// random, grid.
 	Kind string `json:"kind"`
-	// APs/Clients are the T(m,n) parameters for campus and random.
+	// APs/Clients are the T(m,n) parameters for campus and random; for
+	// grid they are APs-per-building and clients-per-AP.
 	APs     int `json:"aps,omitempty"`
 	Clients int `json:"clients,omitempty"`
+	// Buildings is the grid campus building count (grid only; default 4).
+	// The grid topology (topo.GridCampus) decomposes into per-building
+	// interference domains, the shape the sharded runner targets.
+	Buildings int `json:"buildings,omitempty"`
 	// Seed overrides the spec seed for topology generation.
 	Seed *int64 `json:"seed,omitempty"`
 	// Nodes is the random trace's node count (default 110); AreaM its
@@ -32,17 +37,19 @@ type Topology struct {
 
 // Kinds lists the accepted topology kinds.
 func Kinds() []string {
-	return []string{"fig1", "fig7", "fig13a", "fig13b", "sc", "ht", "et", "campus", "random"}
+	return []string{"fig1", "fig7", "fig13a", "fig13b", "sc", "ht", "et", "campus", "random", "grid"}
 }
 
-func (t Topology) generated() bool { return t.Kind == "campus" || t.Kind == "random" }
+func (t Topology) generated() bool {
+	return t.Kind == "campus" || t.Kind == "random" || t.Kind == "grid"
+}
 
 // Validate checks the reference without building it.
 func (t Topology) Validate() error {
 	switch t.Kind {
 	case "fig1", "fig7", "fig13a", "fig13b", "sc", "ht", "et":
-		if t.APs != 0 || t.Clients != 0 || t.Nodes != 0 || t.AreaM != 0 || t.AssocFloorDBm != nil {
-			return fmt.Errorf("spec: topology %q is fixed; aps/clients/nodes/area_m/assoc_floor_dbm do not apply", t.Kind)
+		if t.APs != 0 || t.Clients != 0 || t.Nodes != 0 || t.AreaM != 0 || t.AssocFloorDBm != nil || t.Buildings != 0 {
+			return fmt.Errorf("spec: topology %q is fixed; aps/clients/nodes/area_m/assoc_floor_dbm/buildings do not apply", t.Kind)
 		}
 		return nil
 	case "campus", "random":
@@ -54,6 +61,20 @@ func (t Topology) Validate() error {
 		}
 		if t.Nodes < 0 || t.AreaM < 0 {
 			return fmt.Errorf("spec: negative nodes or area_m")
+		}
+		if t.Buildings != 0 {
+			return fmt.Errorf("spec: buildings applies to the grid topology only")
+		}
+		return nil
+	case "grid":
+		if t.APs < 1 || t.Clients < 1 {
+			return fmt.Errorf("spec: topology grid needs aps ≥ 1 (per building) and clients ≥ 1 (got %d, %d)", t.APs, t.Clients)
+		}
+		if t.Buildings < 0 {
+			return fmt.Errorf("spec: negative buildings %d", t.Buildings)
+		}
+		if t.Nodes != 0 || t.AreaM != 0 || t.AssocFloorDBm != nil {
+			return fmt.Errorf("spec: nodes/area_m/assoc_floor_dbm do not apply to the grid topology")
 		}
 		return nil
 	case "":
@@ -88,6 +109,12 @@ func (t Topology) Build(defaultSeed int64) (*topo.Network, error) {
 		return topo.TwoPairs(topo.HiddenTerminals), nil
 	case "et":
 		return topo.TwoPairs(topo.ExposedTerminals), nil
+	case "grid":
+		buildings := t.Buildings
+		if buildings == 0 {
+			buildings = 4
+		}
+		return topo.GridCampus(seed, buildings, t.APs, t.Clients), nil
 	case "campus", "random":
 		var tr *topo.Trace
 		if t.Kind == "campus" {

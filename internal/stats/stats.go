@@ -67,6 +67,20 @@ func (c *Collector) Merge(o *Collector) {
 	}
 }
 
+// MergeMapped folds collector o into c with a link-id translation: o's link
+// i lands on c's link mapID(i). It is the cross-index-space variant of Merge
+// a sharded run uses to fold each interference domain's collector (dense
+// local link ids) into the campus-wide collector (global link ids).
+func (c *Collector) MergeMapped(o *Collector, mapID func(int) int) {
+	for id := range o.links {
+		s, os := &c.links[mapID(id)], &o.links[id]
+		s.DeliveredPkts += os.DeliveredPkts
+		s.DeliveredB += os.DeliveredB
+		s.DroppedPkts += os.DroppedPkts
+		s.DelaySum += os.DelaySum
+	}
+}
+
 // Link returns the accumulated statistics for a link.
 func (c *Collector) Link(id int) LinkStats { return c.links[id] }
 

@@ -1,0 +1,225 @@
+package topo
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/phy"
+)
+
+// naiveComponents is the reference implementation Components is property-
+// tested against: plain DFS over the bool adjacency matrix.
+func naiveComponents(adj [][]bool) [][]int {
+	n := len(adj)
+	visited := make([]bool, n)
+	var comps [][]int
+	for s := 0; s < n; s++ {
+		if visited[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		visited[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for j := 0; j < n; j++ {
+				if adj[v][j] && !visited[j] {
+					visited[j] = true
+					stack = append(stack, j)
+				}
+			}
+		}
+		// Canonical form: sorted members (Components sorts too).
+		for i := 1; i < len(comp); i++ {
+			for k := i; k > 0 && comp[k] < comp[k-1]; k-- {
+				comp[k], comp[k-1] = comp[k-1], comp[k]
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+func TestComponentsMatchesNaiveReference(t *testing.T) {
+	graphs := []*ConflictGraph{
+		defaultGraph(t, Figure1(), true, true),
+		defaultGraph(t, Figure7(), true, false),
+	}
+	// Random placements across seeds: dense and sparse regimes.
+	for seed := int64(0); seed < 8; seed++ {
+		tr := RandomTrace(seed, 40, 600)
+		rng := rand.New(rand.NewSource(seed))
+		net, err := BuildT(tr, 6, 2, phy.DefaultConfig(), phy.Rate12, rng)
+		if err != nil {
+			continue
+		}
+		graphs = append(graphs, defaultGraph(t, net, true, true))
+	}
+	graphs = append(graphs, defaultGraph(t, GridCampus(3, 4, 3, 2), true, false))
+	if len(graphs) < 5 {
+		t.Fatalf("only %d sample graphs constructed", len(graphs))
+	}
+	for gi, g := range graphs {
+		got := g.Components()
+		want := naiveComponents(g.adj)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("graph %d (%d links): Components() = %v, want %v",
+				gi, len(g.Links), got, want)
+		}
+		// Partition property: every link appears exactly once.
+		seen := make([]bool, len(g.Links))
+		for _, comp := range got {
+			for _, id := range comp {
+				if seen[id] {
+					t.Fatalf("graph %d: link %d in two components", gi, id)
+				}
+				seen[id] = true
+			}
+		}
+		for id, ok := range seen {
+			if !ok {
+				t.Fatalf("graph %d: link %d missing from components", gi, id)
+			}
+		}
+	}
+}
+
+func TestPartitionGridCampus(t *testing.T) {
+	net := GridCampus(1, 9, 4, 2)
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(net.APs) != 36 || net.NumNodes() != 108 {
+		t.Fatalf("campus shape: %d APs, %d nodes", len(net.APs), net.NumNodes())
+	}
+	g := defaultGraph(t, net, true, false)
+	p := PartitionDomains(g, DefaultCutDBm)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.Domains < 2 {
+		t.Fatalf("campus did not partition: %+v", p.Stats)
+	}
+	if p.Stats.Domains != len(p.Domains) {
+		t.Fatalf("stats/domains disagree: %d vs %d", p.Stats.Domains, len(p.Domains))
+	}
+	// Domains ordered by smallest AP; every conflict edge kept within a
+	// domain must join APs of the same domain.
+	for d := 1; d < len(p.Domains); d++ {
+		if p.Domains[d-1].APs[0] >= p.Domains[d].APs[0] {
+			t.Fatalf("domains out of order at %d", d)
+		}
+	}
+	cross := 0
+	for i := range g.Links {
+		for j := i + 1; j < len(g.Links); j++ {
+			if g.adj[i][j] && p.LinkDomain[i] != p.LinkDomain[j] {
+				cross++
+			}
+		}
+	}
+	if cross != p.Stats.CrossLinkPairs {
+		t.Fatalf("CrossLinkPairs = %d, recount = %d", p.Stats.CrossLinkPairs, cross)
+	}
+	t.Logf("campus partition: %+v", p.Stats)
+}
+
+func TestPartitionNoCutMatchesAPComponents(t *testing.T) {
+	net := GridCampus(2, 4, 4, 2)
+	g := defaultGraph(t, net, true, false)
+	p := PartitionDomains(g, NoCutDBm)
+	if p.Stats.CutEdges != 0 {
+		t.Fatalf("NoCutDBm cut %d edges", p.Stats.CutEdges)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Reference: components of the AP conflict relation via naive DFS.
+	aps := net.APs
+	adj := make([][]bool, len(aps))
+	for i := range adj {
+		adj[i] = make([]bool, len(aps))
+		for j := range aps {
+			if i != j && g.APConflict(aps[i], aps[j]) {
+				adj[i][j] = true
+			}
+		}
+	}
+	want := naiveComponents(adj)
+	if len(want) != len(p.Domains) {
+		t.Fatalf("domains = %d, naive AP components = %d", len(p.Domains), len(want))
+	}
+	for d, comp := range want {
+		if len(comp) != len(p.Domains[d].APs) {
+			t.Fatalf("domain %d size %d, want %d", d, len(p.Domains[d].APs), len(comp))
+		}
+		for k, apIdx := range comp {
+			if aps[apIdx] != p.Domains[d].APs[k] {
+				t.Fatalf("domain %d AP %d = %d, want %d", d, k, p.Domains[d].APs[k], aps[apIdx])
+			}
+		}
+	}
+}
+
+// TestSubnetMonotoneRestriction pins the key sharding invariant: building
+// links on an extracted subnet yields exactly the global link set restricted
+// to the domain, in the same relative order, with endpoints related by the
+// monotone node map.
+func TestSubnetMonotoneRestriction(t *testing.T) {
+	net := GridCampus(4, 6, 3, 2)
+	g := defaultGraph(t, net, true, false)
+	p := PartitionDomains(g, DefaultCutDBm)
+	if len(p.Domains) < 2 {
+		t.Fatalf("want a partitioned campus, got %d domains", len(p.Domains))
+	}
+	for d := range p.Domains {
+		sub, nodeMap := p.Subnet(d)
+		if err := sub.Validate(); err != nil {
+			t.Fatalf("domain %d subnet invalid: %v", d, err)
+		}
+		for i := 1; i < len(nodeMap); i++ {
+			if nodeMap[i-1] >= nodeMap[i] {
+				t.Fatalf("domain %d node map not monotone at %d", d, i)
+			}
+		}
+		subLinks := sub.BuildLinks(true, false)
+		if len(subLinks) != len(p.Domains[d].Links) {
+			t.Fatalf("domain %d: %d subnet links, want %d",
+				d, len(subLinks), len(p.Domains[d].Links))
+		}
+		for i, sl := range subLinks {
+			gl := g.Links[p.Domains[d].Links[i]]
+			if nodeMap[sl.Sender] != gl.Sender || nodeMap[sl.Receiver] != gl.Receiver ||
+				nodeMap[sl.AP] != gl.AP || sl.Downlink != gl.Downlink {
+				t.Fatalf("domain %d link %d: subnet %v maps to %v/%v/%v, want %v",
+					d, i, sl, nodeMap[sl.Sender], nodeMap[sl.Receiver], nodeMap[sl.AP], gl)
+			}
+		}
+		// RSS restriction matches the global matrix.
+		for i := range nodeMap {
+			for j := range nodeMap {
+				if i == j {
+					continue
+				}
+				if sub.RSS[i][j] != net.RSS[nodeMap[i]][nodeMap[j]] {
+					t.Fatalf("domain %d RSS[%d][%d] mismatch", d, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestGridCampusDeterminism(t *testing.T) {
+	a := GridCampus(7, 4, 3, 2)
+	b := GridCampus(7, 4, 3, 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("GridCampus not deterministic for equal seeds")
+	}
+	c := GridCampus(8, 4, 3, 2)
+	if reflect.DeepEqual(a.RSS, c.RSS) {
+		t.Fatal("GridCampus identical across different seeds")
+	}
+}

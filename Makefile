@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmt specs build test race race-hot race-shard bench bench-obs bench-kernel bench-convert bench-shard benchreport benchreport-obs benchreport-kernel benchreport-convert benchreport-shard
+.PHONY: ci vet fmt specs build test race race-hot race-shard race-serve bench bench-obs bench-kernel bench-convert bench-shard benchreport benchreport-obs benchreport-kernel benchreport-convert benchreport-shard
 
-ci: vet fmt build test specs race race-hot race-shard bench-obs bench-kernel bench-convert bench-shard
+ci: vet fmt build test specs race race-hot race-shard race-serve bench-obs bench-kernel bench-convert bench-shard
 
 vet:
 	$(GO) vet ./...
@@ -43,6 +43,13 @@ race-hot:
 # checks every cross-goroutine edge the sharded runner adds.
 race-shard:
 	$(GO) test -race -count=1 ./internal/shard ./internal/sim ./internal/parallel
+
+# Race re-run of the run-lifecycle stack: the daemon (worker fleet, HTTP
+# handlers, trace streaming, pause/cancel control racing the step loop), the
+# checkpoint/restore property tests underneath it, and the dynamic pool. This
+# is the domino-simd smoke: every daemon test drives the real HTTP API.
+race-serve:
+	$(GO) test -race -count=1 ./internal/run ./internal/parallel
 
 # Full benchmark sweep (one iteration per table/figure; laptop-minutes).
 bench:

@@ -20,6 +20,11 @@ type shardReport struct {
 	NumCPU     int                  `json:"num_cpu"`
 	Duration   string               `json:"duration"`
 	Sweep      exp.ShardSweepResult `json:"sweep"`
+	// CoresCurve pins the worker count at the sweep's widest point and sweeps
+	// GOMAXPROCS 1/2/4/8 (capped at NumCPU): the cores-vs-throughput curve.
+	// On a single-core host it honestly collapses to one point — re-record on
+	// a multi-core machine for a real scaling curve.
+	CoresCurve []exp.CorePoint `json:"cores_curve"`
 	// SpeedupGated reports whether the -min-speedup gate was enforced; it is
 	// false on machines with fewer than 4 CPUs, where a multi-worker sweep
 	// cannot speed up no matter how good the sharding is.
@@ -39,7 +44,26 @@ func shardReportMain(out string, seed int64, minSpeedup float64, buildings int, 
 	}
 	rep.Sweep = sweep
 
+	workers := o.ShardCounts[len(o.ShardCounts)-1]
+	fmt.Fprintf(os.Stderr, "cores curve: workers=%d, gomaxprocs 1/2/4/8 capped at %d CPU(s)...\n",
+		workers, rep.NumCPU)
+	curve, err := exp.CoresCurve(o, workers, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: cores curve: %v\n", err)
+		os.Exit(1)
+	}
+	rep.CoresCurve = curve
+
 	fail := false
+	// The determinism contract extends across GOMAXPROCS: the merged output
+	// must not depend on how many cores executed the windows.
+	for _, p := range curve {
+		if len(sweep.Points) > 0 && p.Hash != sweep.Points[0].Hash {
+			fmt.Fprintf(os.Stderr, "FAIL: cores=%d output hash %s differs from the worker sweep's %s\n",
+				p.Cores, p.Hash, sweep.Points[0].Hash)
+			fail = true
+		}
+	}
 	// Determinism gate, unconditional: the sharded runner's contract is that
 	// the merged output does not depend on the worker count.
 	if !sweep.IdenticalOutput {
@@ -84,6 +108,11 @@ func shardReportMain(out string, seed int64, minSpeedup float64, buildings int, 
 		out, rep.GoMaxProcs, rep.NumCPU, sweep.APs, sweep.Domains, sweep.IdenticalOutput)
 	for _, p := range sweep.Points {
 		fmt.Printf(" w%d %.2fs (%.2fx)", p.Workers, p.WallSec, p.Speedup)
+	}
+	fmt.Println()
+	fmt.Printf("cores curve [workers=%d]:", workers)
+	for _, p := range curve {
+		fmt.Printf(" c%d %.3f sim-s/s (%.2fx)", p.Cores, p.SimPerWallSec, p.Speedup)
 	}
 	fmt.Println()
 	if fail {

@@ -16,19 +16,31 @@
 //	domino-sim -topo ht -scheme domino -trace | head -50
 //	domino-sim -topo random -reps 16 -workers 0    # 16 seeds across all cores
 //	domino-sim -spec examples/specs/fig1-domino.json
+//	domino-sim -serve :8080 -data /var/lib/domino-sim    # daemon mode
+//
+// Daemon mode (-serve) turns the binary into a long-lived HTTP/JSON service:
+// POST spec documents to /runs, stream NDJSON traces from /runs/{id}/trace,
+// pause/resume/cancel runs, and kill -9 the process at any time — on restart
+// every unfinished run restores from its last checkpoint and its completed
+// trace is byte-identical to an uninterrupted one. See internal/run.Server.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/domino"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/run"
 	"repro/internal/scheme"
 	"repro/internal/shard"
 	"repro/internal/spec"
@@ -64,8 +76,18 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "collect and print run metrics (counters, airtime breakdown)")
 		noSpans   = flag.Bool("no-spans", false, "trace without causal span annotations (drops sp/pa fields)")
 		pprofAddr = flag.String("pprof", "", "serve the debug endpoint on this address (e.g. localhost:6060): pprof, runtime metrics, and — with -metrics / a trace — live /debug/metrics and /debug/trace")
+
+		serveAddr = flag.String("serve", "", "daemon mode: serve the run-lifecycle HTTP API on this address (e.g. :8080); scenario flags are ignored")
+		dataDir   = flag.String("data", "", "daemon data directory (one subdirectory per run; required with -serve)")
+		maxRuns   = flag.Int("max-runs", 0, "daemon worker-fleet bound: concurrently executing runs (0 = one per core)")
+		ckptEvery = flag.Duration("checkpoint-every", 30*time.Second, "daemon default wall-clock interval between automatic checkpoints (0 disables; a spec's run.checkpoint_every overrides per run)")
 	)
 	flag.Parse()
+
+	if *serveAddr != "" {
+		serveDaemon(*serveAddr, *dataDir, *maxRuns, *ckptEvery)
+		return
+	}
 
 	// The debug server is built up-front but only bound after the scenario's
 	// live sources (metrics publisher, trace hub) are attached.
@@ -272,6 +294,50 @@ func main() {
 	if res.Snapshot != nil {
 		fmt.Println("metrics:")
 		res.Snapshot.WriteText(os.Stdout)
+	}
+}
+
+// serveDaemon runs the domino-simd HTTP service until SIGINT/SIGTERM, then
+// drains the fleet. Abrupt exits (kill -9) need no cleanup: the next boot's
+// recovery restores every unfinished run from its last checkpoint.
+func serveDaemon(addr, dataDir string, maxRuns int, ckptEvery time.Duration) {
+	if dataDir == "" {
+		fmt.Fprintln(os.Stderr, "domino-sim: -serve requires -data <dir>")
+		os.Exit(2)
+	}
+	srv, err := run.NewServer(run.ServerOptions{
+		DataDir:         dataDir,
+		MaxRuns:         maxRuns,
+		CheckpointEvery: ckptEvery,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "domino-sim: %v\n", err)
+		os.Exit(2)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "domino-sim: %v\n", err)
+		os.Exit(2)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(os.Stderr, "domino-simd: listening on http://%s (data: %s, max runs: %d, checkpoint every: %v)\n",
+		ln.Addr(), dataDir, parallel.Workers(maxRuns), ckptEvery)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "domino-simd: %v; draining\n", s)
+		hs.Close()
+		srv.Close()
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "domino-simd: %v\n", err)
+			srv.Close()
+			os.Exit(1)
+		}
 	}
 }
 

@@ -58,7 +58,12 @@ func (e *Engine) WireMetrics(m *obs.Metrics) {
 		incPairReuse:  m.Counter("convert.inc.pair_reuse"),
 	}
 	for i, name := range convert.PassNames {
-		cm.passNs[i] = m.Counter("convert.pass." + name + ".ns")
+		full := "convert.pass." + name + ".ns"
+		cm.passNs[i] = m.Counter(full)
+		// Wall-clock pass timings are host measurements: exclude them from
+		// replay-verification digests (checkpoint restore) or no two runs
+		// would ever verify.
+		m.MarkWallClock(full)
 	}
 	e.convMetrics = cm
 	e.chainDepth = m.LogHist("domino.chain_depth")

@@ -49,5 +49,23 @@ func init() {
 			}
 			return New(ctx.Kernel, ctx.Medium, ctx.Graph, ctx.Events, *c), nil
 		},
+		Checkpointer: func(e mac.Engine) scheme.EngineState {
+			eng, ok := e.(*Engine)
+			if !ok {
+				return scheme.EngineState{Scheme: "DOMINO"}
+			}
+			hits, misses := eng.ConvertCacheStats()
+			return scheme.EngineState{Scheme: "DOMINO", Counters: map[string]int64{
+				"slots":        int64(eng.Slots()),
+				"data_sends":   int64(eng.DataSends),
+				"fake_sends":   int64(eng.FakeSends),
+				"polls":        int64(eng.Polls),
+				"ack_misses":   int64(eng.AckMisses),
+				"self_starts":  int64(eng.SelfStarts),
+				"drops":        int64(eng.Drops),
+				"cache_hits":   hits,
+				"cache_misses": misses,
+			}}
+		},
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -137,6 +138,71 @@ func ShardSweep(o ShardOptions) (ShardSweepResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// CorePoint is one point of the cores-vs-throughput curve: the same sharded
+// scenario executed at one GOMAXPROCS setting.
+type CorePoint struct {
+	Cores   int     `json:"cores"`
+	Workers int     `json:"workers"`
+	WallSec float64 `json:"wall_sec"`
+	// SimPerWallSec is simulated seconds advanced per wall-clock second —
+	// the throughput the curve tracks as cores are added.
+	SimPerWallSec float64 `json:"sim_per_wall_sec"`
+	// Speedup is the 1-core wall-clock over this point's wall-clock.
+	Speedup float64 `json:"speedup"`
+	Hash    string  `json:"hash"`
+}
+
+// CoresCurve pins the shard worker count and sweeps GOMAXPROCS instead: where
+// ShardSweep asks "how well does the partition decompose", this asks "how
+// does the same decomposition convert physical cores into throughput". Points
+// above NumCPU are skipped (they would measure oversubscription, not scaling),
+// so on a single-core host the curve honestly collapses to one point. The
+// previous GOMAXPROCS value is restored before returning.
+func CoresCurve(o ShardOptions, workers int, cores []int) ([]CorePoint, error) {
+	o = o.withDefaults()
+	if workers <= 0 {
+		workers = o.ShardCounts[len(o.ShardCounts)-1]
+	}
+	if len(cores) == 0 {
+		cores = []int{1, 2, 4, 8}
+	}
+	net := topo.GridCampus(o.Seed, o.Buildings, o.APsPerBuilding, o.ClientsPerAP)
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var out []CorePoint
+	for _, c := range cores {
+		if c > runtime.NumCPU() {
+			continue
+		}
+		runtime.GOMAXPROCS(c)
+		t0 := time.Now()
+		r, _, err := shard.Run(core.Scenario{
+			Net:      net,
+			Downlink: true,
+			Uplink:   true,
+			Scheme:   core.DOMINO,
+			Seed:     o.Seed,
+			Duration: o.Duration,
+			Warmup:   o.Warmup,
+		}, shard.Options{Workers: workers})
+		if err != nil {
+			return out, fmt.Errorf("exp: cores curve gomaxprocs=%d: %w", c, err)
+		}
+		wall := time.Since(t0).Seconds()
+		p := CorePoint{Cores: c, Workers: workers, WallSec: wall, Hash: resultHash(r)}
+		if wall > 0 {
+			p.SimPerWallSec = float64(o.Duration) / float64(sim.Second) / wall
+		}
+		out = append(out, p)
+	}
+	if len(out) > 0 && out[0].WallSec > 0 {
+		for i := range out {
+			out[i].Speedup = out[0].WallSec / out[i].WallSec
+		}
+	}
+	return out, nil
 }
 
 // resultHash fingerprints a run's measurements: every per-link goodput and

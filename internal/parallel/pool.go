@@ -1,0 +1,157 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done, no
+// new task indices are dispatched, already-running fn calls finish (fn
+// receives ctx and may bail early itself), every worker goroutine exits, and
+// the context's error is returned. With a Background context it behaves
+// exactly like ForEach — same scheduling, same worker degeneration to a
+// serial loop — so callers can thread one implementation through both
+// cancellable (daemon) and non-cancellable (CLI) paths.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(ctx context.Context, i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(ctx, i)
+		}
+		return ctx.Err()
+	}
+	done := ctx.Done()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(ctx, i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// Pool is a bounded dynamic worker pool for long-lived services: unlike
+// ForEach's static fan-out over a known index range, tasks arrive over time
+// (daemon run submissions) and each carries its own context. Workers are
+// spawned lazily up to the bound and exit on Close, so an idle or closed
+// pool holds no goroutines on the floor — the leak-freedom contract
+// TestPoolCancelMidRun pins under -race.
+type Pool struct {
+	tasks   chan poolTask
+	quit    chan struct{}
+	workers int
+
+	mu      sync.Mutex
+	spawned int
+	closed  bool
+	wg      sync.WaitGroup
+	active  atomic.Int64
+}
+
+type poolTask struct {
+	ctx context.Context
+	fn  func(ctx context.Context)
+}
+
+// NewPool returns a pool running at most workers tasks concurrently
+// (≤ 0: all cores).
+func NewPool(workers int) *Pool {
+	return &Pool{
+		tasks:   make(chan poolTask),
+		quit:    make(chan struct{}),
+		workers: Workers(workers),
+	}
+}
+
+// Submit queues fn for execution and returns once a worker has accepted it
+// or ctx/pool-close intervened; it never blocks past that. fn runs with the
+// submitted ctx and is itself responsible for honouring cancellation — the
+// pool guarantees a task whose context is already done when a worker picks
+// it up is skipped entirely.
+func (p *Pool) Submit(ctx context.Context, fn func(ctx context.Context)) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return fmt.Errorf("parallel: pool is closed")
+	}
+	// Lazy spawn: one worker per in-flight submission until the bound.
+	if p.spawned < p.workers {
+		p.spawned++
+		p.wg.Add(1)
+		go p.worker()
+	}
+	p.mu.Unlock()
+
+	select {
+	case p.tasks <- poolTask{ctx: ctx, fn: fn}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-p.quit:
+		return fmt.Errorf("parallel: pool is closed")
+	}
+}
+
+// Active returns the number of tasks currently executing.
+func (p *Pool) Active() int { return int(p.active.Load()) }
+
+// Close stops accepting submissions, lets running tasks finish, and blocks
+// until every worker goroutine has exited. Cancel the submitted contexts
+// first for a prompt shutdown. Shutdown is signalled on a dedicated quit
+// channel rather than by closing the task channel, so submissions racing a
+// Close (the daemon's async submit path) get a clean error instead of a
+// send-on-closed-channel panic.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.quit)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case t := <-p.tasks:
+			if t.ctx.Err() != nil {
+				continue // cancelled while queued
+			}
+			p.active.Add(1)
+			t.fn(t.ctx)
+			p.active.Add(-1)
+		case <-p.quit:
+			return
+		}
+	}
+}

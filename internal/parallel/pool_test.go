@@ -1,0 +1,146 @@
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForEachCtxMatchesForEach pins that an uncancelled ForEachCtx covers
+// every index exactly once, like ForEach.
+func TestForEachCtxMatchesForEach(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 200
+		hits := make([]atomic.Int64, n)
+		if err := ForEachCtx(context.Background(), workers, n, func(_ context.Context, i int) {
+			hits[i].Add(1)
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+// TestForEachCtxCancelMidRun cancels while tasks are in flight and asserts
+// the dispatch stops, the call returns the context error, and — under
+// -race with goroutine leak accounting — no workers outlive the call.
+func TestForEachCtxCancelMidRun(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	err := ForEachCtx(ctx, 4, 10000, func(ctx context.Context, i int) {
+		if started.Add(1) == 20 {
+			cancel()
+		}
+		// Simulate a simulation batch that polls its context.
+		select {
+		case <-ctx.Done():
+		case <-time.After(100 * time.Microsecond):
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n >= 10000 {
+		t.Fatalf("cancellation did not stop dispatch: %d tasks started", n)
+	}
+	waitForGoroutines(t, before)
+	cancel()
+}
+
+// TestPoolCancelMidRun is the daemon-shutdown regression: tasks running in
+// a Pool are cancelled mid-run, the pool closes, and every worker goroutine
+// exits — no leaks, no deadlock. Run under -race (make race / race-serve).
+func TestPoolCancelMidRun(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewPool(3)
+	ctx, cancel := context.WithCancel(context.Background())
+	var finished atomic.Int64
+	running := make(chan struct{}, 16)
+	for i := 0; i < 6; i++ {
+		err := p.Submit(ctx, func(ctx context.Context) {
+			running <- struct{}{}
+			// A long "run" that honours per-batch cancellation checks.
+			for j := 0; j < 1000; j++ {
+				if ctx.Err() != nil {
+					break
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+			finished.Add(1)
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	// Wait until the pool is saturated, then cancel mid-run.
+	for i := 0; i < 3; i++ {
+		<-running
+	}
+	cancel()
+	p.Close()
+	if p.Active() != 0 {
+		t.Fatalf("%d tasks still active after Close", p.Active())
+	}
+	// Every accepted-and-started task must have finished (cancellation makes
+	// them finish early, not vanish); queued tasks with a dead context are
+	// skipped, so finished ≤ 6.
+	if n := finished.Load(); n < 3 || n > 6 {
+		t.Fatalf("finished = %d, want between 3 and 6", n)
+	}
+	if err := p.Submit(context.Background(), func(context.Context) {}); err == nil {
+		t.Fatal("Submit succeeded on a closed pool")
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestPoolBound asserts concurrency never exceeds the worker bound.
+func TestPoolBound(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var cur, peak atomic.Int64
+	done := make(chan struct{}, 8)
+	for i := 0; i < 8; i++ {
+		if err := p.Submit(context.Background(), func(context.Context) {
+			c := cur.Add(1)
+			for {
+				old := peak.Load()
+				if c <= old || peak.CompareAndSwap(old, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			done <- struct{}{}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if peak.Load() > 2 {
+		t.Fatalf("peak concurrency %d exceeds bound 2", peak.Load())
+	}
+}
+
+// waitForGoroutines polls until the goroutine count returns to (or below)
+// the baseline, failing after a generous deadline. NumGoroutine is noisy
+// (test runner, timers), so allow a small slack.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d now vs %d at start", runtime.NumGoroutine(), baseline)
+}

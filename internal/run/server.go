@@ -1,0 +1,761 @@
+package run
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/spec"
+)
+
+// Server is the domino-sim daemon: an HTTP/JSON service that accepts
+// declarative spec documents, executes them on a bounded worker fleet, and
+// streams each run's NDJSON trace incrementally. Every run lives in its own
+// directory under DataDir (spec.json, trace.ndjson, checkpoint.json,
+// result.json), checkpoints on a wall-clock timer, and survives a daemon
+// kill: on restart the server restores every unfinished run from its last
+// checkpoint and the resumed trace is byte-identical to an uninterrupted
+// one.
+//
+// API:
+//
+//	POST /runs                  submit a spec document; returns {"id": ...}
+//	GET  /runs                  list run statuses
+//	GET  /runs/{id}             one run's status (result summary when done)
+//	GET  /runs/{id}/trace       NDJSON stream: bytes so far + live tail
+//	GET  /runs/{id}/checkpoint  the latest checkpoint document
+//	POST /runs/{id}/pause       checkpoint, release the worker, hold
+//	POST /runs/{id}/resume      restore a paused/failed run and continue
+//	POST /runs/{id}/cancel      stop the run for good
+//	POST /runs/{id}/checkpoint  write a checkpoint now, keep running
+//	GET  /healthz               liveness + fleet occupancy
+type Server struct {
+	opt  ServerOptions
+	pool *parallel.Pool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu   sync.Mutex
+	runs map[string]*managedRun
+	next int
+}
+
+// ServerOptions configures the daemon.
+type ServerOptions struct {
+	// DataDir holds one subdirectory per run. Required.
+	DataDir string
+	// MaxRuns bounds concurrently executing runs (0: one per core). A
+	// spec's run.max_concurrent_runs knob never widens this: the daemon's
+	// fleet is operator-controlled.
+	MaxRuns int
+	// CheckpointEvery is the default wall-clock interval between automatic
+	// checkpoints; a spec's run.checkpoint_every overrides it per run.
+	// Zero disables timer checkpoints by default.
+	CheckpointEvery time.Duration
+}
+
+// run states
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StatePaused    = "paused"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+type managedRun struct {
+	id  string
+	dir string
+	sp  spec.Spec
+
+	mu          sync.Mutex
+	state       string
+	err         string
+	summary     *ResultSummary
+	progress    Progress
+	checkpoints int
+
+	wantPause      bool
+	wantCheckpoint bool
+	cancelRun      context.CancelFunc
+
+	// sinkMu guards every trace-sink write and the snapshot+subscribe pair
+	// the trace endpoint uses, so streams are gap-free and duplicate-free.
+	sinkMu sync.Mutex
+	hub    *obs.LiveHub
+}
+
+// Progress is the live position a worker publishes between steps.
+type Progress struct {
+	Steps       int    `json:"steps"`
+	EventsFired uint64 `json:"events_fired,omitempty"`
+	ClockNs     int64  `json:"clock_ns"`
+	DurationNs  int64  `json:"duration_ns"`
+	TraceBytes  int64  `json:"trace_bytes"`
+}
+
+// ResultSummary is the result subset the status endpoint reports.
+type ResultSummary struct {
+	AggregateMbps float64 `json:"aggregate_mbps"`
+	DataMbps      float64 `json:"data_mbps"`
+	MeanDelayNs   int64   `json:"mean_delay_ns"`
+	Fairness      float64 `json:"fairness"`
+	Links         int     `json:"links"`
+}
+
+// RunStatus is one run's externally visible state.
+type RunStatus struct {
+	ID          string         `json:"id"`
+	Scheme      string         `json:"scheme"`
+	State       string         `json:"state"`
+	Sharded     bool           `json:"sharded,omitempty"`
+	Progress    Progress       `json:"progress"`
+	Checkpoints int            `json:"checkpoints"`
+	Error       string         `json:"error,omitempty"`
+	Result      *ResultSummary `json:"result,omitempty"`
+}
+
+// NewServer builds the daemon, creating DataDir if needed and restoring
+// every unfinished run found in it (the kill -9 recovery path).
+func NewServer(opt ServerOptions) (*Server, error) {
+	if opt.DataDir == "" {
+		return nil, fmt.Errorf("run: server needs a data directory")
+	}
+	if err := os.MkdirAll(opt.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opt:    opt,
+		pool:   parallel.NewPool(opt.MaxRuns),
+		ctx:    ctx,
+		cancel: cancel,
+		runs:   map[string]*managedRun{},
+	}
+	if err := s.recover(); err != nil {
+		cancel()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover scans DataDir and resubmits every run that has a spec but no
+// result: restored from its checkpoint when one exists, from scratch
+// otherwise.
+func (s *Server) recover() error {
+	entries, err := os.ReadDir(s.opt.DataDir)
+	if err != nil {
+		return err
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "r") {
+			if n, err := strconv.Atoi(e.Name()[1:]); err == nil {
+				if n >= s.next {
+					s.next = n + 1
+				}
+				ids = append(ids, e.Name())
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, _ := strconv.Atoi(ids[i][1:])
+		b, _ := strconv.Atoi(ids[j][1:])
+		return a < b
+	})
+	for _, id := range ids {
+		dir := filepath.Join(s.opt.DataDir, id)
+		sp, err := spec.Load(filepath.Join(dir, "spec.json"))
+		if err != nil {
+			continue // not a run directory we understand; leave it alone
+		}
+		m := &managedRun{id: id, dir: dir, sp: sp, state: StateQueued, hub: obs.NewLiveHub()}
+		s.runs[id] = m
+		if _, err := os.Stat(filepath.Join(dir, "result.json")); err == nil {
+			m.state = StateDone
+			m.loadResult()
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, "cancelled")); err == nil {
+			m.state = StateCancelled
+			continue
+		}
+		s.submit(m)
+	}
+	return nil
+}
+
+// Submit validates and enqueues a new run, returning its id.
+func (s *Server) Submit(sp spec.Spec) (string, error) {
+	if err := sp.Validate(); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	id := fmt.Sprintf("r%d", s.next)
+	s.next++
+	dir := filepath.Join(s.opt.DataDir, id)
+	m := &managedRun{id: id, dir: dir, sp: sp, state: StateQueued, hub: obs.NewLiveHub()}
+	s.runs[id] = m
+	s.mu.Unlock()
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	doc, err := json.MarshalIndent(sp, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "spec.json"), doc, 0o644); err != nil {
+		return "", err
+	}
+	s.submit(m)
+	return id, nil
+}
+
+// submit hands the run to the worker fleet without blocking the caller: when
+// the fleet is saturated the hand-off waits in its own goroutine, so POST
+// /runs stays responsive and saturation shows up as queued runs, not hung
+// requests.
+func (s *Server) submit(m *managedRun) {
+	ctx, cancel := context.WithCancel(s.ctx)
+	m.mu.Lock()
+	m.cancelRun = cancel
+	m.wantPause = false
+	m.state = StateQueued
+	m.err = ""
+	m.mu.Unlock()
+	go func() {
+		err := s.pool.Submit(ctx, func(ctx context.Context) { s.execute(ctx, m) })
+		switch {
+		case err == nil:
+		case s.ctx.Err() != nil:
+			// Daemon shutting down: leave the run queued on disk so the next
+			// boot's recovery resubmits it.
+		case ctx.Err() != nil:
+			m.markCancelled() // cancelled while waiting for a worker
+		default:
+			m.setFailed(fmt.Errorf("submit: %w", err))
+		}
+	}()
+}
+
+// execute runs (or resumes) one managed run to completion, pause, or
+// cancellation. It owns the run object exclusively; all externally visible
+// state flows through m's mutex-guarded fields.
+func (s *Server) execute(ctx context.Context, m *managedRun) {
+	if ctx.Err() != nil {
+		// Cancelled between hand-off and pickup. On daemon shutdown the run
+		// stays queued for the next boot's recovery instead.
+		if s.ctx.Err() == nil {
+			m.markCancelled()
+		}
+		return
+	}
+	tracePath := filepath.Join(m.dir, "trace.ndjson")
+	cpPath := filepath.Join(m.dir, "checkpoint.json")
+
+	var cp *Checkpoint
+	if doc, err := os.ReadFile(cpPath); err == nil {
+		cp, err = UnmarshalCheckpoint(doc)
+		if err != nil {
+			m.setFailed(fmt.Errorf("load checkpoint: %w", err))
+			return
+		}
+	}
+	var offset int64
+	if cp != nil {
+		offset = cp.TraceBytes
+	}
+	f, err := os.OpenFile(tracePath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		m.setFailed(err)
+		return
+	}
+	defer f.Close()
+	// Drop any bytes written after the checkpoint (or the whole file on a
+	// from-scratch start): the resumed run regenerates them exactly.
+	if err := f.Truncate(offset); err != nil {
+		m.setFailed(err)
+		return
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		m.setFailed(err)
+		return
+	}
+
+	sink := &lockedSink{mu: &m.sinkMu, next: obs.MultiSink{obs.WriterSink{W: f}, m.hub}}
+	var r *Run
+	if cp != nil {
+		r, err = Restore(cp, Options{Sink: sink})
+	} else {
+		r, err = New(m.sp, Options{Sink: sink})
+	}
+	if err != nil {
+		m.setFailed(err)
+		return
+	}
+
+	interval := s.opt.CheckpointEvery
+	if ce := r.Control().CheckpointEvery.Time(); ce > 0 {
+		interval = time.Duration(ce)
+	}
+	lastCP := time.Now()
+
+	m.mu.Lock()
+	m.state = StateRunning
+	m.mu.Unlock()
+	m.publish(r)
+
+	for !r.Done() {
+		if ctx.Err() != nil {
+			if s.ctx.Err() == nil {
+				m.markCancelled()
+			}
+			// Daemon shutdown: stop stepping and leave the run where the
+			// last checkpoint (or scratch) will restart it next boot.
+			return
+		}
+		pause, ckpt := m.takeRequests()
+		if pause {
+			if err := s.writeCheckpoint(m, r, f, cpPath); err != nil {
+				m.setFailed(err)
+				return
+			}
+			m.mu.Lock()
+			m.state = StatePaused
+			m.mu.Unlock()
+			return // release the worker; resume restores from the checkpoint
+		}
+		if ckpt || (interval > 0 && time.Since(lastCP) >= interval) {
+			if err := s.writeCheckpoint(m, r, f, cpPath); err != nil {
+				m.setFailed(err)
+				return
+			}
+			lastCP = time.Now()
+		}
+		r.Step()
+		if err := r.Flush(); err != nil { // keep trace streams live per step
+			m.setFailed(err)
+			return
+		}
+		m.publish(r)
+	}
+
+	res, err := r.Finish()
+	if err != nil {
+		m.setFailed(err)
+		return
+	}
+	m.publish(r)
+	if err := m.writeResult(res); err != nil {
+		m.setFailed(err)
+		return
+	}
+	os.Remove(cpPath) // the run is complete; nothing left to resume
+	m.mu.Lock()
+	m.state = StateDone
+	m.mu.Unlock()
+	m.sinkMu.Lock()
+	m.hub.Close() // end-of-stream for trace subscribers
+	m.sinkMu.Unlock()
+}
+
+// writeCheckpoint flushes and syncs the trace, then atomically replaces the
+// checkpoint document — the durability order that keeps every persisted
+// checkpoint's trace_bytes backed by on-disk bytes.
+func (s *Server) writeCheckpoint(m *managedRun, r *Run, f *os.File, path string) error {
+	cp, err := r.Checkpoint()
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	doc, err := cp.Marshal()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, doc, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.checkpoints++
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *managedRun) writeResult(res core.Result) error {
+	sum := &ResultSummary{
+		AggregateMbps: res.AggregateMbps,
+		DataMbps:      res.DataMbps,
+		MeanDelayNs:   int64(res.MeanDelay),
+		Fairness:      res.Fairness,
+		Links:         len(res.Links),
+	}
+	doc, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(m.dir, "result.json"), doc, 0o644); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.summary = sum
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *managedRun) loadResult() {
+	doc, err := os.ReadFile(filepath.Join(m.dir, "result.json"))
+	if err != nil {
+		return
+	}
+	var sum ResultSummary
+	if json.Unmarshal(doc, &sum) == nil {
+		m.summary = &sum
+	}
+}
+
+func (m *managedRun) publish(r *Run) {
+	p := Progress{
+		Steps:       r.Steps(),
+		EventsFired: r.EventsFired(),
+		ClockNs:     int64(r.Clock()),
+		DurationNs:  int64(r.Duration()),
+		TraceBytes:  r.TraceBytes(),
+	}
+	m.mu.Lock()
+	m.progress = p
+	m.mu.Unlock()
+}
+
+func (m *managedRun) takeRequests() (pause, checkpoint bool) {
+	m.mu.Lock()
+	pause, checkpoint = m.wantPause, m.wantCheckpoint
+	m.wantPause, m.wantCheckpoint = false, false
+	m.mu.Unlock()
+	return pause, checkpoint
+}
+
+func (m *managedRun) setFailed(err error) {
+	m.mu.Lock()
+	m.state = StateFailed
+	m.err = err.Error()
+	m.mu.Unlock()
+}
+
+func (m *managedRun) markCancelled() {
+	os.WriteFile(filepath.Join(m.dir, "cancelled"), nil, 0o644)
+	m.mu.Lock()
+	m.state = StateCancelled
+	m.mu.Unlock()
+	m.sinkMu.Lock()
+	m.hub.Close()
+	m.sinkMu.Unlock()
+}
+
+func (m *managedRun) status() RunStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return RunStatus{
+		ID:          m.id,
+		Scheme:      m.sp.Scheme,
+		State:       m.state,
+		Sharded:     m.sp.ShardWorkers() > 0,
+		Progress:    m.progress,
+		Checkpoints: m.checkpoints,
+		Error:       m.err,
+		Result:      m.summary,
+	}
+}
+
+// snapshotAndSubscribe returns every trace byte written so far plus a live
+// subscription that continues exactly where the snapshot ends. Holding
+// sinkMu across both makes the pair gap-free: no chunk can land between the
+// file read and the subscription.
+func (m *managedRun) snapshotAndSubscribe() ([]byte, <-chan []byte, func(), error) {
+	m.sinkMu.Lock()
+	defer m.sinkMu.Unlock()
+	data, err := os.ReadFile(filepath.Join(m.dir, "trace.ndjson"))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, nil, err
+	}
+	ch, cancel, _ := m.hub.Subscribe()
+	return data, ch, cancel, nil
+}
+
+// lockedSink serializes sink writes against snapshotAndSubscribe.
+type lockedSink struct {
+	mu   *sync.Mutex
+	next obs.Sink
+}
+
+func (l *lockedSink) WriteChunk(p []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next.WriteChunk(p)
+}
+
+func (l *lockedSink) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next.Close()
+}
+
+// Close drains the daemon: cancels every run context and waits for the
+// fleet's in-flight work to exit (pool.Close blocks until every worker
+// goroutine is gone; queued hand-offs abort via the cancelled context).
+// Runs checkpoint nothing on the way down — crash recovery restarts them
+// from their last checkpoint next boot; operators wanting a clean stop
+// pause runs first.
+func (s *Server) Close() {
+	s.cancel()
+	s.pool.Close()
+}
+
+// get returns the managed run or nil.
+func (s *Server) get(id string) *managedRun {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs[id]
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok":          true,
+			"active_runs": s.pool.Active(),
+			"max_runs":    parallel.Workers(s.opt.MaxRuns),
+		})
+	})
+	mux.HandleFunc("POST /runs", func(w http.ResponseWriter, req *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 4<<20))
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		sp, err := spec.Parse(body)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		id, err := s.Submit(sp)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+	})
+	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, req *http.Request) {
+		s.mu.Lock()
+		ids := make([]string, 0, len(s.runs))
+		for id := range s.runs {
+			ids = append(ids, id)
+		}
+		s.mu.Unlock()
+		sort.Slice(ids, func(i, j int) bool {
+			a, _ := strconv.Atoi(ids[i][1:])
+			b, _ := strconv.Atoi(ids[j][1:])
+			return a < b
+		})
+		out := make([]RunStatus, 0, len(ids))
+		for _, id := range ids {
+			if m := s.get(id); m != nil {
+				out = append(out, m.status())
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /runs/{id}", func(w http.ResponseWriter, req *http.Request) {
+		m := s.get(req.PathValue("id"))
+		if m == nil {
+			httpErr(w, http.StatusNotFound, fmt.Errorf("no such run"))
+			return
+		}
+		writeJSON(w, http.StatusOK, m.status())
+	})
+	mux.HandleFunc("GET /runs/{id}/checkpoint", func(w http.ResponseWriter, req *http.Request) {
+		m := s.get(req.PathValue("id"))
+		if m == nil {
+			httpErr(w, http.StatusNotFound, fmt.Errorf("no such run"))
+			return
+		}
+		doc, err := os.ReadFile(filepath.Join(m.dir, "checkpoint.json"))
+		if err != nil {
+			httpErr(w, http.StatusNotFound, fmt.Errorf("run has no checkpoint yet"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(doc)
+	})
+	mux.HandleFunc("GET /runs/{id}/trace", func(w http.ResponseWriter, req *http.Request) {
+		m := s.get(req.PathValue("id"))
+		if m == nil {
+			httpErr(w, http.StatusNotFound, fmt.Errorf("no such run"))
+			return
+		}
+		snapshot, live, cancel, err := m.snapshotAndSubscribe()
+		if err != nil {
+			httpErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		defer cancel()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		if _, err := w.Write(snapshot); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		for {
+			select {
+			case chunk, ok := <-live:
+				if !ok {
+					return // run finished or was cancelled
+				}
+				if _, err := w.Write(chunk); err != nil {
+					return
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+			case <-req.Context().Done():
+				return
+			}
+		}
+	})
+	mux.HandleFunc("POST /runs/{id}/pause", s.controlHandler(func(m *managedRun) error {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if m.state != StateRunning && m.state != StateQueued {
+			return fmt.Errorf("run is %s; only queued/running runs pause", m.state)
+		}
+		m.wantPause = true
+		return nil
+	}))
+	mux.HandleFunc("POST /runs/{id}/resume", func(w http.ResponseWriter, req *http.Request) {
+		m := s.get(req.PathValue("id"))
+		if m == nil {
+			httpErr(w, http.StatusNotFound, fmt.Errorf("no such run"))
+			return
+		}
+		m.mu.Lock()
+		state := m.state
+		m.mu.Unlock()
+		if state != StatePaused && state != StateFailed {
+			httpErr(w, http.StatusConflict, fmt.Errorf("run is %s; only paused/failed runs resume", state))
+			return
+		}
+		s.submit(m)
+		writeJSON(w, http.StatusAccepted, m.status())
+	})
+	mux.HandleFunc("POST /runs/{id}/cancel", s.controlHandler(func(m *managedRun) error {
+		m.mu.Lock()
+		cancel := m.cancelRun
+		state := m.state
+		m.mu.Unlock()
+		switch state {
+		case StateDone, StateCancelled:
+			return fmt.Errorf("run is already %s", state)
+		case StatePaused, StateFailed, StateQueued:
+			// No worker is stepping the run (a queued task with a dead
+			// context is skipped at pickup), so mark it directly.
+			if cancel != nil {
+				cancel()
+			}
+			m.markCancelled()
+			return nil
+		}
+		if cancel != nil {
+			cancel()
+		}
+		return nil
+	}))
+	mux.HandleFunc("POST /runs/{id}/checkpoint", s.controlHandler(func(m *managedRun) error {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if m.state != StateRunning {
+			return fmt.Errorf("run is %s; only running runs checkpoint on demand", m.state)
+		}
+		m.wantCheckpoint = true
+		return nil
+	}))
+	return mux
+}
+
+// controlHandler wraps a per-run mutation endpoint.
+func (s *Server) controlHandler(fn func(*managedRun) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		m := s.get(req.PathValue("id"))
+		if m == nil {
+			httpErr(w, http.StatusNotFound, fmt.Errorf("no such run"))
+			return
+		}
+		if err := fn(m); err != nil {
+			httpErr(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, m.status())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// WaitIdle blocks until no run is executing — a test/shutdown helper; the
+// poll interval is coarse because callers only use it at barriers.
+func (s *Server) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if s.idle() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return s.idle()
+}
+
+func (s *Server) idle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.runs {
+		m.mu.Lock()
+		st := m.state
+		m.mu.Unlock()
+		if st == StateQueued || st == StateRunning {
+			return false
+		}
+	}
+	return true
+}

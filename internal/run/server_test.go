@@ -1,0 +1,375 @@
+package run_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/run"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// postSpec submits a spec document and returns the run id.
+func postSpec(t *testing.T, ts *httptest.Server, sp spec.Spec) string {
+	t.Helper()
+	doc, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/runs", "application/json", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.ID
+}
+
+// getStatus fetches one run's status.
+func getStatus(t *testing.T, ts *httptest.Server, id string) run.RunStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/runs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st run.RunStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitState polls until the run reaches one of the wanted states.
+func waitState(t *testing.T, ts *httptest.Server, id string, want ...string) run.RunStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		for _, w := range want {
+			if st.State == w {
+				return st
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("run %s never reached %v (last: %+v)", id, want, getStatus(t, ts, id))
+	return run.RunStatus{}
+}
+
+func postCtl(t *testing.T, ts *httptest.Server, id, verb string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/runs/"+id+"/"+verb, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, body
+}
+
+// TestServerLifecycle is the daemon smoke test: submit a spec over HTTP,
+// watch it run to completion, stream its NDJSON trace, and require the
+// streamed bytes, the on-disk trace and an uninterrupted in-process run to
+// be identical.
+func TestServerLifecycle(t *testing.T) {
+	sp := singleSpec("DOMINO")
+	ref, refRes, _ := stepAll(t, sp)
+
+	dir := t.TempDir()
+	srv, err := run.NewServer(run.ServerOptions{DataDir: dir, MaxRuns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+
+	id := postSpec(t, ts, sp)
+	st := waitState(t, ts, id, run.StateDone, run.StateFailed)
+	if st.State != run.StateDone {
+		t.Fatalf("run failed: %+v", st)
+	}
+	if st.Result == nil || st.Result.AggregateMbps != refRes.AggregateMbps {
+		t.Fatalf("result summary mismatch: %+v (want aggregate %v)", st.Result, refRes.AggregateMbps)
+	}
+
+	// The trace endpoint streams the full byte stream (hub already closed,
+	// so the response ends at EOF).
+	tresp, err := http.Get(ts.URL + "/runs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, _ := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	onDisk, err := os.ReadFile(filepath.Join(dir, id, "trace.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed, onDisk) {
+		t.Fatalf("streamed trace (%d bytes) differs from on-disk trace (%d bytes)", len(streamed), len(onDisk))
+	}
+	if !bytes.Equal(onDisk, ref) {
+		t.Fatalf("daemon trace (%d bytes) differs from in-process run (%d bytes)", len(onDisk), len(ref))
+	}
+
+	// Bad spec documents are rejected with a descriptive error.
+	resp, err = http.Post(ts.URL+"/runs", "application/json", strings.NewReader(`{"scheme": "aloha", "topology": {"kind": "fig1"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "unknown scheme") {
+		t.Fatalf("bad spec: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestServerKillRestore is the crash-recovery contract: pause checkpoints a
+// mid-flight run and releases its worker; the daemon then dies without
+// cleanup (Close is skipped — the in-process stand-in for kill -9), stray
+// bytes appear after the checkpointed offset as they would mid-write; a new
+// daemon over the same data directory restores the run and the completed
+// trace is byte-identical to an uninterrupted one.
+func TestServerKillRestore(t *testing.T) {
+	sp := singleSpec("DOMINO")
+	sp.Duration = spec.Duration(2 * sim.Second) // long enough to pause mid-run
+	ref, refRes, _ := stepAll(t, sp)
+
+	dir := t.TempDir()
+	srvA, err := run.NewServer(run.ServerOptions{DataDir: dir, MaxRuns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(srvA.Handler())
+
+	id := postSpec(t, tsA, sp)
+	// Ask for a pause straight away (valid while queued or running — waiting
+	// to observe the transient "running" state is a lost race on a loaded or
+	// single-core host) and wait for the checkpoint-and-release.
+	if resp, body := postCtl(t, tsA, id, "pause"); resp.StatusCode != http.StatusAccepted {
+		if resp.StatusCode == http.StatusConflict {
+			t.Skipf("run finished before the pause landed: %s", body)
+		}
+		t.Fatalf("pause: %d %s", resp.StatusCode, body)
+	}
+	st := waitState(t, tsA, id, run.StatePaused, run.StateDone)
+	if st.State != run.StatePaused {
+		t.Skip("run finished before the pause landed; nothing mid-flight to recover")
+	}
+	if st.Checkpoints == 0 {
+		t.Fatal("pause released the worker without a checkpoint")
+	}
+	tsA.Close() // abandon srvA without Close: the kill -9 stand-in
+
+	// Simulate the partial post-checkpoint write a kill interrupts.
+	tracePath := filepath.Join(dir, id, "trace.ndjson")
+	f, err := os.OpenFile(tracePath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{\"torn\": \"half-written chu"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	srvB, err := run.NewServer(run.ServerOptions{DataDir: dir, MaxRuns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+	tsB := httptest.NewServer(srvB.Handler())
+	defer tsB.Close()
+
+	st = waitState(t, tsB, id, run.StateDone, run.StateFailed)
+	if st.State != run.StateDone {
+		t.Fatalf("recovered run failed: %+v", st)
+	}
+	onDisk, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, ref) {
+		i := 0
+		for i < len(onDisk) && i < len(ref) && onDisk[i] == ref[i] {
+			i++
+		}
+		t.Fatalf("recovered trace diverges from uninterrupted run at byte %d (%d vs %d bytes)", i, len(onDisk), len(ref))
+	}
+	if st.Result == nil || st.Result.AggregateMbps != refRes.AggregateMbps {
+		t.Fatalf("recovered result mismatch: %+v", st.Result)
+	}
+}
+
+// TestServerPauseResume exercises the in-daemon resume path (no restart):
+// pause releases the worker, resume restores from the checkpoint, and the
+// final trace is byte-identical.
+func TestServerPauseResume(t *testing.T) {
+	sp := singleSpec("DCF")
+	sp.Duration = spec.Duration(2 * sim.Second)
+	ref, _, _ := stepAll(t, sp)
+
+	dir := t.TempDir()
+	srv, err := run.NewServer(run.ServerOptions{DataDir: dir, MaxRuns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	id := postSpec(t, ts, sp)
+	postCtl(t, ts, id, "pause") // accepted while queued or running; 409 if already done
+	st := waitState(t, ts, id, run.StatePaused, run.StateDone)
+	if st.State == run.StatePaused {
+		if resp, body := postCtl(t, ts, id, "resume"); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("resume: %d %s", resp.StatusCode, body)
+		}
+	}
+	st = waitState(t, ts, id, run.StateDone, run.StateFailed)
+	if st.State != run.StateDone {
+		t.Fatalf("resumed run failed: %+v", st)
+	}
+	onDisk, err := os.ReadFile(filepath.Join(dir, id, "trace.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, ref) {
+		t.Fatalf("paused+resumed trace (%d bytes) differs from uninterrupted (%d bytes)", len(onDisk), len(ref))
+	}
+}
+
+// TestServerCancel pins cancellation: the run stops, reports cancelled, and
+// stays cancelled across a daemon restart.
+func TestServerCancel(t *testing.T) {
+	sp := singleSpec("CENTAUR")
+	sp.Duration = spec.Duration(5 * sim.Second)
+
+	dir := t.TempDir()
+	srv, err := run.NewServer(run.ServerOptions{DataDir: dir, MaxRuns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	id := postSpec(t, ts, sp)
+	if resp, body := postCtl(t, ts, id, "cancel"); resp.StatusCode != http.StatusAccepted {
+		if resp.StatusCode == http.StatusConflict {
+			t.Skipf("run finished before the cancel landed: %s", body)
+		}
+		t.Fatalf("cancel: %d %s", resp.StatusCode, body)
+	}
+	st := waitState(t, ts, id, run.StateCancelled, run.StateDone)
+	ts.Close()
+	srv.Close()
+	if st.State != run.StateCancelled {
+		t.Skipf("run finished before the cancel landed (state %s)", st.State)
+	}
+
+	srv2, err := run.NewServer(run.ServerOptions{DataDir: dir, MaxRuns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	if st := getStatus(t, ts2, id); st.State != run.StateCancelled {
+		t.Fatalf("restart revived a cancelled run: %+v", st)
+	}
+}
+
+// TestServerConcurrentRuns pins the acceptance shape: two specs in flight on
+// a MaxRuns=2 fleet, each trace streamed over HTTP and byte-identical to its
+// own in-process reference run.
+func TestServerConcurrentRuns(t *testing.T) {
+	specs := []spec.Spec{singleSpec("DCF"), singleSpec("DOMINO")}
+	refs := make([][]byte, len(specs))
+	for i, sp := range specs {
+		refs[i], _, _ = stepAll(t, sp)
+	}
+
+	dir := t.TempDir()
+	srv, err := run.NewServer(run.ServerOptions{DataDir: dir, MaxRuns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ids := make([]string, len(specs))
+	for i, sp := range specs {
+		ids[i] = postSpec(t, ts, sp)
+	}
+	for i, id := range ids {
+		if st := waitState(t, ts, id, run.StateDone, run.StateFailed); st.State != run.StateDone {
+			t.Fatalf("run %s (%s): %+v", id, specs[i].Scheme, st)
+		}
+		resp, err := http.Get(ts.URL + "/runs/" + id + "/trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !bytes.Equal(streamed, refs[i]) {
+			t.Fatalf("run %s (%s): streamed trace %d bytes differs from reference %d bytes",
+				id, specs[i].Scheme, len(streamed), len(refs[i]))
+		}
+	}
+}
+
+// TestServerFleetBound pins that MaxRuns=1 serializes runs rather than
+// rejecting the second submission.
+func TestServerFleetBound(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := run.NewServer(run.ServerOptions{DataDir: dir, MaxRuns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	a := postSpec(t, ts, singleSpec("DCF"))
+	b := postSpec(t, ts, singleSpec("DOMINO"))
+	for _, id := range []string{a, b} {
+		if st := waitState(t, ts, id, run.StateDone, run.StateFailed); st.State != run.StateDone {
+			t.Fatalf("run %s: %+v", id, st)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []run.RunStatus
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(all) != 2 {
+		t.Fatalf("GET /runs returned %d entries, want 2", len(all))
+	}
+}

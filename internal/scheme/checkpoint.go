@@ -1,0 +1,79 @@
+package scheme
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/mac"
+)
+
+// EngineState is a serializable digest of a scheme engine's mutable state,
+// captured by the scheme's registered Checkpointer at a checkpoint boundary.
+// Engines hold pointers, queues and armed timers that cannot round-trip
+// through bytes, so restore is replay-based; the state exists to *audit* the
+// replay — a restored engine whose EngineState matches the checkpoint has
+// provably reconverged on every counter the scheme considers identity-
+// defining — and to surface scheme progress in run status reports without
+// reaching into engine internals.
+type EngineState struct {
+	// Scheme is the canonical registered name that produced the state.
+	Scheme string `json:"scheme"`
+	// Counters are the scheme's identity-defining tallies (slots scheduled,
+	// data sends, drops, …). Keys are scheme-chosen; equal maps mean equal
+	// progress.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Digest folds the state into one comparable word (FNV-1a over the scheme
+// name and the counters in sorted key order).
+func (s EngineState) Digest() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s.Scheme))
+	keys := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b [8]byte
+	for _, k := range keys {
+		h.Write([]byte{0})
+		h.Write([]byte(k))
+		v := uint64(s.Counters[k])
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// Equal reports whether two states describe identical scheme progress.
+func (s EngineState) Equal(o EngineState) bool {
+	if s.Scheme != o.Scheme || len(s.Counters) != len(o.Counters) {
+		return false
+	}
+	for k, v := range s.Counters {
+		ov, ok := o.Counters[k]
+		if !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckpointEngine captures engine state through the descriptor's registered
+// Checkpointer. Schemes without one get a name-only state (the kernel and
+// metrics audits still cover them); ok reports whether a Checkpointer ran.
+func CheckpointEngine(d *Descriptor, e mac.Engine) (EngineState, bool) {
+	if d == nil {
+		return EngineState{}, false
+	}
+	if d.Checkpointer == nil {
+		return EngineState{Scheme: d.Name}, false
+	}
+	s := d.Checkpointer(e)
+	if s.Scheme == "" {
+		s.Scheme = d.Name
+	}
+	return s, true
+}

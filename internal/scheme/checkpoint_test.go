@@ -1,0 +1,38 @@
+package scheme
+
+import "testing"
+
+func TestEngineStateDigest(t *testing.T) {
+	a := EngineState{Scheme: "X", Counters: map[string]int64{"slots": 3, "drops": 1}}
+	b := EngineState{Scheme: "X", Counters: map[string]int64{"drops": 1, "slots": 3}}
+	if a.Digest() != b.Digest() {
+		t.Fatal("digest depends on map iteration order")
+	}
+	if !a.Equal(b) {
+		t.Fatal("Equal rejected identical states")
+	}
+	c := EngineState{Scheme: "X", Counters: map[string]int64{"drops": 2, "slots": 3}}
+	if a.Digest() == c.Digest() || a.Equal(c) {
+		t.Fatal("digest/Equal missed a counter change")
+	}
+	d := EngineState{Scheme: "Y", Counters: map[string]int64{"drops": 1, "slots": 3}}
+	if a.Digest() == d.Digest() {
+		t.Fatal("digest ignores the scheme name")
+	}
+	// Key/value boundary confusion must not collide: {"a":1,"b":2} vs {"a:1b": 2}-style.
+	e := EngineState{Scheme: "X", Counters: map[string]int64{"slots": 1, "drops": 3}}
+	if a.Digest() == e.Digest() {
+		t.Fatal("digest collided on swapped values")
+	}
+}
+
+func TestCheckpointEngineWithoutHook(t *testing.T) {
+	d := &Descriptor{Name: "bare"}
+	s, ok := CheckpointEngine(d, nil)
+	if ok {
+		t.Fatal("ok=true without a Checkpointer")
+	}
+	if s.Scheme != "bare" {
+		t.Fatalf("scheme = %q, want bare", s.Scheme)
+	}
+}

@@ -68,6 +68,12 @@ type Descriptor struct {
 	// Build constructs the engine. cfg is the (possibly tuned) value
 	// DefaultConfig returned.
 	Build func(ctx BuildContext, cfg any) (mac.Engine, error)
+	// Checkpointer, when non-nil, captures the engine's identity-defining
+	// counters as a serializable EngineState — the audit record replay-based
+	// checkpoint restore (internal/run) verifies a restored engine against.
+	// Optional: schemes without one are still checkpointable; their replay
+	// is audited through the kernel queue and metrics states alone.
+	Checkpointer func(e mac.Engine) EngineState
 }
 
 // Observable is implemented by engines that accept the observability layer.

@@ -62,6 +62,14 @@ type Options struct {
 	// LookaheadFloor()). Ignored when the partition has no cross-domain
 	// coupling — uncoupled domains need no windows at all.
 	Lookahead sim.Time
+	// StepGranule bounds how much simulated time one Steppable.StepWindow
+	// call may advance an *uncoupled* partition (0: the whole run in one
+	// step, the barrier-free fast path Run uses). The run-lifecycle layer
+	// sets it so checkpoint/pause boundaries exist even when no
+	// synchronization windows do; kernels step via RunBefore, so any
+	// granule produces byte-identical output. Coupled partitions ignore it
+	// — their lookahead windows are already fine-grained boundaries.
+	StepGranule sim.Time
 }
 
 // Report describes how a sharded run executed: the partition, the window
@@ -85,22 +93,60 @@ type Report struct {
 // Run executes the scenario sharded by interference domain and returns the
 // merged Result plus the execution Report. The scenario's Links must be nil
 // (links are rebuilt per domain from the Downlink/Uplink flags), Trace and
-// Live are unsupported in sharded mode.
+// Live are unsupported in sharded mode. It is the one-shot wrapper around
+// the steppable decomposition: New, StepWindow until done, Finish.
 func Run(s core.Scenario, opt Options) (core.Result, *Report, error) {
+	st, err := New(s, opt)
+	if err != nil {
+		return core.Result{}, nil, err
+	}
+	for !st.StepWindow() {
+	}
+	return st.Finish()
+}
+
+// Steppable is a sharded run decomposed into explicit window steps — the
+// form the run-lifecycle layer (internal/run) drives so a campus-scale run
+// can pause, checkpoint and resume between windows instead of executing in
+// one opaque call. Construct with New, call StepWindow until it reports
+// done, then Finish exactly once. Run is the loop-it-all wrapper and stays
+// byte-identical to the pre-steppable implementation.
+type Steppable struct {
+	s         core.Scenario
+	opt       Options
+	lookahead sim.Time
+	links     []*topo.Link
+	p         *topo.Partition
+	insts     []*core.Instance
+	tracers   []*remapTracer
+	metrics   []*obs.Metrics
+	router    *router
+	rep       *Report
+
+	// nextH is the horizon the next step advances to; steps counts
+	// completed StepWindow calls (the checkpoint replay coordinate).
+	nextH sim.Time
+	steps int
+	done  bool
+}
+
+// New builds the per-domain instances, the cross-shard router and the
+// report skeleton — everything Run did before its execute loop.
+func New(s core.Scenario, opt Options) (*Steppable, error) {
 	if s.Net == nil {
-		return core.Result{}, nil, fmt.Errorf("shard: Scenario.Net is nil")
+		return nil, fmt.Errorf("shard: Scenario.Net is nil")
 	}
 	if s.Links != nil {
-		return core.Result{}, nil, fmt.Errorf("shard: custom link sets are not shardable; use Downlink/Uplink flags")
+		return nil, fmt.Errorf("shard: custom link sets are not shardable; use Downlink/Uplink flags")
 	}
 	if s.Trace != nil {
-		return core.Result{}, nil, fmt.Errorf("shard: Scenario.Trace (domino event microscope) is single-engine only")
+		return nil, fmt.Errorf("shard: Scenario.Trace (domino event microscope) is single-engine only")
 	}
 	if s.Live != nil {
-		return core.Result{}, nil, fmt.Errorf("shard: live metrics publishing is single-engine only")
+		return nil, fmt.Errorf("shard: live metrics publishing is single-engine only")
 	}
 	if err := s.Net.Validate(); err != nil {
-		return core.Result{}, nil, fmt.Errorf("shard: invalid network: %w", err)
+		return nil, fmt.Errorf("shard: invalid network: %w", err)
 	}
 	// Normalize exactly like core.NewInstance so window math and merged
 	// rates use the same values the instances will.
@@ -160,7 +206,7 @@ func Run(s core.Scenario, opt Options) (core.Result, *Report, error) {
 		}
 		inst, err := core.NewInstance(sd)
 		if err != nil {
-			return core.Result{}, nil, fmt.Errorf("shard: domain %d: %w", d, err)
+			return nil, fmt.Errorf("shard: domain %d: %w", d, err)
 		}
 		insts[d] = inst
 	}
@@ -169,41 +215,130 @@ func Run(s core.Scenario, opt Options) (core.Result, *Report, error) {
 	// pair, plus each domain's routing fan-out.
 	router := newRouter(p)
 
-	// Execute. Uncoupled partitions run barrier-free to the deadline —
-	// the fast path that makes sharding pay. Coupled partitions step
-	// through conservative-lookahead windows, exchanging digests at every
-	// barrier.
-	if router.pairs() == 0 {
-		parallel.ForEach(opt.Workers, nd, func(d int) {
-			insts[d].Step(s.Duration)
-		})
-	} else {
-		for h := lookahead; h < s.Duration; h += lookahead {
-			rep.Windows++
-			parallel.ForEach(opt.Workers, nd, func(d int) {
-				router.deliver(d, insts[d])
-				insts[d].StepBefore(h)
-				router.emit(d, insts[d], h)
-			})
-			router.route() // single-threaded barrier phase
-		}
-		rep.Windows++
-		parallel.ForEach(opt.Workers, nd, func(d int) {
-			router.deliver(d, insts[d])
-			insts[d].Step(s.Duration)
-		})
+	st := &Steppable{
+		s: s, opt: opt, lookahead: lookahead, links: links, p: p,
+		insts: insts, tracers: tracers, metrics: metrics,
+		router: router, rep: rep,
 	}
-	rep.Messages = router.messages
-	rep.Audits = router.audits()
+	// The first horizon: coupled partitions step conservative-lookahead
+	// windows; uncoupled ones leap by the step granule (or the whole run).
+	if router.pairs() > 0 {
+		st.nextH = lookahead
+	} else if opt.StepGranule > 0 {
+		st.nextH = opt.StepGranule
+	} else {
+		st.nextH = s.Duration
+	}
+	return st, nil
+}
+
+// Steps returns the number of completed StepWindow calls — the replay
+// coordinate a checkpoint records.
+func (st *Steppable) Steps() int { return st.steps }
+
+// Instances exposes the per-domain cores in domain-index order so the
+// run-lifecycle layer can audit kernel and engine state at a window
+// boundary. Callers must not step them directly.
+func (st *Steppable) Instances() []*core.Instance { return st.insts }
+
+// Messages returns the cross-shard messages routed so far.
+func (st *Steppable) Messages() int { return st.router.messages }
+
+// Done reports whether the run has reached its deadline.
+func (st *Steppable) Done() bool { return st.done }
+
+// Clock returns the horizon the run has advanced to (0 before any step).
+func (st *Steppable) Clock() sim.Time {
+	if st.done {
+		return st.s.Duration
+	}
+	if st.steps == 0 {
+		return 0
+	}
+	return st.prevH()
+}
+
+// prevH is the horizon the last completed step advanced to.
+func (st *Steppable) prevH() sim.Time {
+	stride := st.granule()
+	h := st.nextH - stride
+	if h > st.s.Duration {
+		h = st.s.Duration
+	}
+	return h
+}
+
+func (st *Steppable) granule() sim.Time {
+	if st.router.pairs() > 0 {
+		return st.lookahead
+	}
+	if st.opt.StepGranule > 0 {
+		return st.opt.StepGranule
+	}
+	return st.s.Duration
+}
+
+// StepWindow advances every domain one window and reports whether the run
+// is done. Uncoupled partitions run barrier-free — the fast path that makes
+// sharding pay — advancing by the step granule per call with no router
+// work and no Report.Windows accounting (those count synchronization
+// barriers, of which there are none). Coupled partitions execute exactly
+// the pre-steppable loop body: deliver staged messages, step to the
+// horizon, emit boundary digests, route — so Run's output is byte-identical
+// to the original single-loop implementation.
+func (st *Steppable) StepWindow() bool {
+	if st.done {
+		return true
+	}
+	nd := len(st.p.Domains)
+	final := st.nextH >= st.s.Duration
+	coupled := st.router.pairs() > 0
+	h := st.nextH
+	if coupled {
+		st.rep.Windows++
+	}
+	parallel.ForEach(st.opt.Workers, nd, func(d int) {
+		if coupled {
+			st.router.deliver(d, st.insts[d])
+		}
+		if final {
+			st.insts[d].Step(st.s.Duration)
+		} else {
+			st.insts[d].StepBefore(h)
+			if coupled {
+				st.router.emit(d, st.insts[d], h)
+			}
+		}
+	})
+	if coupled && !final {
+		st.router.route() // single-threaded barrier phase
+	}
+	st.steps++
+	st.nextH += st.granule()
+	if final {
+		st.done = true
+	}
+	return st.done
+}
+
+// Finish merges the per-domain results into the campus-wide Result and
+// emits the merged trace. Call exactly once, after StepWindow reports done.
+func (st *Steppable) Finish() (core.Result, *Report, error) {
+	if !st.done {
+		return core.Result{}, nil, fmt.Errorf("shard: Finish before the run reached its deadline (clock %v of %v)", st.Clock(), st.s.Duration)
+	}
+	s, rep := st.s, st.rep
+	rep.Messages = st.router.messages
+	rep.Audits = st.router.audits()
 
 	// Merge. Every step below iterates domains in index order, so the
 	// merged result is a pure function of the partition.
-	for d := 0; d < nd; d++ {
-		rep.PerDomain = append(rep.PerDomain, insts[d].Finish())
+	for d := 0; d < len(st.p.Domains); d++ {
+		rep.PerDomain = append(rep.PerDomain, st.insts[d].Finish())
 	}
-	res := mergeResults(s, links, p, rep, metrics)
+	res := mergeResults(s, st.links, st.p, rep, st.metrics)
 	if s.Tracer != nil {
-		emitMerged(s, p, rep, tracers, res)
+		emitMerged(s, st.p, rep, st.tracers, res)
 	}
 	return res, rep, nil
 }

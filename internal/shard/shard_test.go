@@ -324,3 +324,112 @@ func TestRunRejectsUnsupported(t *testing.T) {
 		t.Error("nil Net accepted")
 	}
 }
+
+// TestSteppableMatchesRun pins that driving a run through the explicit
+// New/StepWindow/Finish lifecycle — the form internal/run checkpoints
+// between windows — produces byte-identical traces and an identical report
+// to the loop-it-all Run wrapper, on both the coupled (windowed) and
+// uncoupled (barrier-free) paths.
+func TestSteppableMatchesRun(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		net  *topo.Network
+	}{
+		{"coupled", coupledNet()},
+		{"disjoint", disjointNet(3, 2)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := baseScenario(tc.net)
+			var refBuf obs.Buffer
+			ref.Tracer = &refBuf
+			ref.Metrics = obs.NewMetrics()
+			_, refRep, err := Run(ref, Options{Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			stepped := baseScenario(tc.net)
+			var stepBuf obs.Buffer
+			stepped.Tracer = &stepBuf
+			stepped.Metrics = obs.NewMetrics()
+			st, err := New(stepped, Options{Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps := 0
+			for !st.StepWindow() {
+				steps++
+				if c := st.Clock(); c <= 0 || c >= stepped.Duration {
+					t.Fatalf("mid-run clock %v outside (0, %v)", c, stepped.Duration)
+				}
+			}
+			if !st.Done() || st.Clock() != stepped.Duration {
+				t.Fatalf("done=%v clock=%v after final step", st.Done(), st.Clock())
+			}
+			_, stepRep, err := st.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if stepRep.Windows != refRep.Windows || stepRep.Messages != refRep.Messages {
+				t.Fatalf("report differs: windows %d/%d messages %d/%d",
+					stepRep.Windows, refRep.Windows, stepRep.Messages, refRep.Messages)
+			}
+			rl, sl := encode(refBuf.Records(), false), encode(stepBuf.Records(), false)
+			if len(rl) != len(sl) {
+				t.Fatalf("record counts differ: run %d steppable %d", len(rl), len(sl))
+			}
+			for i := range rl {
+				if rl[i] != sl[i] {
+					t.Fatalf("trace diverges at record %d:\n  run:       %s\n  steppable: %s", i, rl[i], sl[i])
+				}
+			}
+		})
+	}
+}
+
+// TestStepGranuleIdentity pins that slicing an uncoupled run into bounded
+// step granules — the knob that gives checkpoints a finite window length on
+// barrier-free topologies — leaves the trace, the result and the report
+// (Windows stays 0: granules are not synchronization barriers) exactly as
+// the single-leap run produces them.
+func TestStepGranuleIdentity(t *testing.T) {
+	net := disjointNet(3, 2)
+
+	whole := baseScenario(net)
+	var wholeBuf obs.Buffer
+	whole.Tracer = &wholeBuf
+	whole.Metrics = obs.NewMetrics()
+	wres, wrep, err := Run(whole, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sliced := baseScenario(net)
+	var slicedBuf obs.Buffer
+	sliced.Tracer = &slicedBuf
+	sliced.Metrics = obs.NewMetrics()
+	sres, srep, err := Run(sliced, Options{Workers: 2, StepGranule: 3 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if srep.Windows != 0 {
+		t.Fatalf("granule run counted %d windows; granules are not barriers", srep.Windows)
+	}
+	if wrep.Windows != 0 {
+		t.Fatalf("whole run counted %d windows on a disjoint net", wrep.Windows)
+	}
+	if wres.AggregateMbps != sres.AggregateMbps || wres.MeanDelay != sres.MeanDelay {
+		t.Fatalf("results differ: whole %+v sliced %+v", wres, sres)
+	}
+	wl, sl := encode(wholeBuf.Records(), false), encode(slicedBuf.Records(), false)
+	if len(wl) != len(sl) {
+		t.Fatalf("record counts differ: whole %d sliced %d", len(wl), len(sl))
+	}
+	for i := range wl {
+		if wl[i] != sl[i] {
+			t.Fatalf("trace diverges at record %d:\n  whole:  %s\n  sliced: %s", i, wl[i], sl[i])
+		}
+	}
+}

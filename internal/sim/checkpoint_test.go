@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"testing"
+)
+
+// chainWorkload schedules a self-perpetuating event chain with some fan-out
+// and cancellations — enough queue churn to make state comparisons
+// meaningful.
+func chainWorkload(k *Kernel, fires *[]Time) {
+	var step func()
+	var pendingCancel Event
+	step = func() {
+		*fires = append(*fires, k.Now())
+		d := Time(1 + k.Rand().Intn(50))
+		k.After(d, step)
+		if k.Rand().Intn(3) == 0 {
+			pendingCancel = k.After(d*2, func() { *fires = append(*fires, k.Now()) }).SetSource(SrcMAC)
+		}
+		if k.Rand().Intn(4) == 0 {
+			pendingCancel.Cancel()
+		}
+	}
+	k.At(0, step)
+}
+
+// TestRunCountMatchesRunUntil drives the same workload in one RunUntil and
+// in many RunCount slices and asserts identical fire sequences, clocks and
+// checkpoint states.
+func TestRunCountMatchesRunUntil(t *testing.T) {
+	const deadline = 5000 * Time(1)
+	var refFires []Time
+	ref := New(7)
+	chainWorkload(ref, &refFires)
+	ref.RunUntil(deadline)
+
+	var gotFires []Time
+	k := New(7)
+	chainWorkload(k, &gotFires)
+	for {
+		_, done := k.RunCount(deadline, 3)
+		if done {
+			break
+		}
+	}
+	if len(gotFires) != len(refFires) {
+		t.Fatalf("sliced run fired %d events, reference %d", len(gotFires), len(refFires))
+	}
+	for i := range refFires {
+		if gotFires[i] != refFires[i] {
+			t.Fatalf("fire %d at %v, reference %v", i, gotFires[i], refFires[i])
+		}
+	}
+	if k.Now() != ref.Now() {
+		t.Fatalf("clock %v, reference %v", k.Now(), ref.Now())
+	}
+	gs, rs := k.CheckpointState(), ref.CheckpointState()
+	if gs.Fingerprint() != rs.Fingerprint() {
+		t.Fatalf("state fingerprints differ: %x vs %x", gs.Fingerprint(), rs.Fingerprint())
+	}
+	if err := k.VerifyState(rs); err != nil {
+		t.Fatalf("VerifyState: %v", err)
+	}
+}
+
+// TestReplayToFiredCount checkpoints a run at an arbitrary event boundary,
+// replays a fresh kernel to the same fired count, and asserts the replayed
+// state passes the audit — the core restore contract.
+func TestReplayToFiredCount(t *testing.T) {
+	const deadline = 4000 * Time(1)
+	for _, stop := range []uint64{1, 7, 50, 213} {
+		var fires []Time
+		orig := New(11)
+		chainWorkload(orig, &fires)
+		for orig.Fired() < stop {
+			if _, done := orig.RunCount(deadline, stop-orig.Fired()); done {
+				break
+			}
+		}
+		cp := orig.CheckpointState()
+
+		var replayFires []Time
+		rep := New(11)
+		chainWorkload(rep, &replayFires)
+		rep.RunCount(deadline, cp.Fired)
+		if err := rep.VerifyState(cp); err != nil {
+			t.Fatalf("stop=%d: replay audit failed: %v", stop, err)
+		}
+
+		// The two kernels must now also agree on the entire remainder.
+		orig.RunUntil(deadline)
+		rep.RunUntil(deadline)
+		if len(fires) != len(replayFires) {
+			t.Fatalf("stop=%d: remainder diverged: %d vs %d fires", stop, len(fires), len(replayFires))
+		}
+		for i := range fires {
+			if fires[i] != replayFires[i] {
+				t.Fatalf("stop=%d: fire %d at %v vs %v", stop, i, fires[i], replayFires[i])
+			}
+		}
+	}
+}
+
+// TestVerifyStateDetectsDivergence asserts the audit actually fails when the
+// replayed kernel differs.
+func TestVerifyStateDetectsDivergence(t *testing.T) {
+	a := New(3)
+	var sink []Time
+	chainWorkload(a, &sink)
+	a.RunCount(1000, 10)
+	cp := a.CheckpointState()
+
+	b := New(3)
+	var sink2 []Time
+	chainWorkload(b, &sink2)
+	b.RunCount(1000, 9) // one event short
+	if err := b.VerifyState(cp); err == nil {
+		t.Fatal("VerifyState accepted a kernel one event behind the checkpoint")
+	}
+	b.RunCount(1000, 1)
+	if err := b.VerifyState(cp); err != nil {
+		t.Fatalf("VerifyState rejected a correctly replayed kernel: %v", err)
+	}
+	// Perturb the future: schedule an extra event and expect a queue mismatch.
+	b.After(5, func() {})
+	if err := b.VerifyState(cp); err == nil {
+		t.Fatal("VerifyState accepted a kernel with an extra queued event")
+	}
+}
+
+// TestCheckpointStateSorted asserts the serialized queue is in exact pop
+// order, independent of heap layout.
+func TestCheckpointStateSorted(t *testing.T) {
+	k := New(1)
+	for i := 0; i < 64; i++ {
+		k.At(Time(k.Rand().Intn(100)), func() {})
+	}
+	s := k.CheckpointState()
+	for i := 1; i < len(s.Queue); i++ {
+		a, b := s.Queue[i-1], s.Queue[i]
+		if a.At > b.At || (a.At == b.At && a.Seq > b.Seq) {
+			t.Fatalf("queue not in pop order at %d: %+v then %+v", i, a, b)
+		}
+	}
+	if s.Pending != len(s.Queue) || s.Pending != k.Pending() {
+		t.Fatalf("pending %d, queue %d, kernel %d", s.Pending, len(s.Queue), k.Pending())
+	}
+}

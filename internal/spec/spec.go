@@ -78,6 +78,12 @@ type Spec struct {
 
 	// Obs toggles the observability layer for this run.
 	Obs Obs `json:"obs,omitempty"`
+
+	// Run is an optional JSON object of run-lifecycle knobs (see
+	// RunControl): checkpoint cadence, step granularity, daemon
+	// concurrency. Keys are validated against the RunControl catalog the
+	// same way scheme_config keys are.
+	Run json.RawMessage `json:"run,omitempty"`
 }
 
 // Link is a directed AP–client flow in an explicit link set. The AP endpoint
@@ -234,6 +240,9 @@ func (s Spec) Validate() error {
 		if err := s.validateScheduler(probe); err != nil {
 			return err
 		}
+	}
+	if err := s.validateRun(); err != nil {
+		return err
 	}
 	return nil
 }

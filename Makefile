@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmt specs build test race race-hot race-shard race-serve bench bench-obs bench-kernel bench-convert bench-shard benchreport benchreport-obs benchreport-kernel benchreport-convert benchreport-shard
+.PHONY: ci vet fmt specs build test race race-hot race-shard race-serve bench bench-obs bench-kernel bench-convert bench-shard bench-poll benchreport benchreport-obs benchreport-kernel benchreport-convert benchreport-shard benchreport-poll
 
-ci: vet fmt build test specs race race-hot race-shard race-serve bench-obs bench-kernel bench-convert bench-shard
+ci: vet fmt build test specs race race-hot race-shard race-serve bench-obs bench-kernel bench-convert bench-shard bench-poll
 
 vet:
 	$(GO) vet ./...
@@ -94,6 +94,15 @@ bench-convert:
 bench-shard:
 	$(GO) run ./cmd/benchreport -shard -shard-buildings 12 -shard-duration 50ms -min-speedup 3 -out /tmp/BENCH_shard_ci.json
 
+# Poller-registry gate: every registered poller's Assign and Poll cycle are
+# micro-benchmarked (the point in ci is the allocs column and that every
+# poller builds and completes a cycle), and rop.DecodeInto must stay at zero
+# allocations with warm scratch — the registry seam is not allowed to put
+# allocations on the paper's per-poll hot path. The committed BENCH_poll.json
+# comes from benchreport-poll below, not from this target.
+bench-poll:
+	$(GO) run ./cmd/benchreport -poll -out /tmp/BENCH_poll_ci.json
+
 # Refresh BENCH_parallel.json: harness speedup + correlator hot-path numbers.
 benchreport:
 	$(GO) run ./cmd/benchreport
@@ -119,3 +128,8 @@ benchreport-convert:
 # workers with per-point wall clock and output hashes.
 benchreport-shard:
 	$(GO) run ./cmd/benchreport -shard -min-speedup 3
+
+# Refresh BENCH_poll.json: per-poller assign/decode ns plus the DecodeInto
+# zero-alloc gate.
+benchreport-poll:
+	$(GO) run ./cmd/benchreport -poll

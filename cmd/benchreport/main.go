@@ -13,6 +13,7 @@
 //	go run ./cmd/benchreport -convert            # conversion pipeline + batch cache, writes BENCH_convert.json
 //	go run ./cmd/benchreport -shard              # sharded campus runner sweep, writes BENCH_shard.json
 //	go run ./cmd/benchreport -shard -min-speedup 3   # also gate 4-worker speedup (≥4-CPU hosts only)
+//	go run ./cmd/benchreport -poll               # per-poller assign/decode costs, writes BENCH_poll.json
 //
 // The wall-clock comparisons run each driver twice — workers=1 and
 // workers=GOMAXPROCS — on the same seed; the outputs are asserted identical
@@ -87,6 +88,7 @@ func main() {
 		kernelMode  = flag.Bool("kernel", false, "measure the pooled event kernel and planned FFT instead, writes BENCH_kernel.json")
 		convertMode = flag.Bool("convert", false, "measure the schedule-conversion pipeline and batch cache instead, writes BENCH_convert.json")
 		shardMode   = flag.Bool("shard", false, "measure the interference-domain sharded runner on the grid campus instead, writes BENCH_shard.json")
+		pollMode    = flag.Bool("poll", false, "measure every registered poller's assign/decode hot paths instead, writes BENCH_poll.json")
 		strict      = flag.Bool("strict", false, "with -obs: exit 1 when the disabled path regresses >2% vs the baseline")
 		baseline    = flag.String("baseline", "BENCH_parallel.json", "with -obs: baseline report for the correlator_detect comparison")
 
@@ -114,6 +116,13 @@ func main() {
 			*out = "BENCH_shard.json"
 		}
 		shardReportMain(*out, *seed, *minSpeedup, *shardBldgs, *shardDur)
+		return
+	}
+	if *pollMode {
+		if *out == "" {
+			*out = "BENCH_poll.json"
+		}
+		pollReportMain(*out, *seed)
 		return
 	}
 	if *obsMode {

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/poll"
+	"repro/internal/rop" // also registers the default ROP poller
+)
+
+// pollerBench is one registered polling scheme's hot-path numbers.
+type pollerBench struct {
+	Poller  string `json:"poller"`
+	Clients int    `json:"clients"`
+	Rounds  int    `json:"rounds"`
+	// Assign is the layout recomputation the engine pays on client churn.
+	Assign microBench `json:"assign"`
+	// Poll is one complete decode cycle (all rounds).
+	Poll microBench `json:"poll"`
+}
+
+// pollReport is BENCH_poll.json: per-poller assignment and decode costs from
+// the internal/poll registry, plus the zero-allocation gate on the default
+// ROP decode hot path (rop.DecodeInto with warm scratch).
+type pollReport struct {
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Pollers    []pollerBench `json:"pollers"`
+	// ROPDecodeInto is the scratch-reusing decode; its AllocsPerOp must be 0
+	// (hard gate — the registry seam must not have put allocations on the
+	// paper's per-poll path).
+	ROPDecodeInto microBench `json:"rop_decode_into"`
+}
+
+// benchRSS and benchQueue are the same deterministic stand-ins the poll
+// property tests use: RSS spread over 17 dB, small nonzero backlogs.
+func benchRSS(c phy.NodeID) float64 { return -40 - float64(c%17) }
+func benchQueue(c phy.NodeID) int   { return int(c%5) + 1 }
+
+func pollReportMain(out string, seed int64) {
+	rep := pollReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+
+	for _, name := range poll.Names() {
+		d, ok := poll.Lookup(name)
+		if !ok {
+			continue
+		}
+		// Bench every poller at its ceiling, or at 96 clients (4x the ROP
+		// subchannel count) for unbounded ones.
+		n := 96
+		if d.MaxClients > 0 && n > d.MaxClients {
+			n = d.MaxClients
+		}
+		clients := make([]phy.NodeID, n)
+		for i := range clients {
+			clients[i] = phy.NodeID(i + 2)
+		}
+		build := func() poll.Poller {
+			p, err := poll.Build(name, nil)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: build %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			return p
+		}
+		fmt.Fprintf(os.Stderr, "poller %s: %d clients, assign + poll...\n", name, n)
+		p := build()
+		p.Assign(clients, benchRSS)
+		pb := pollerBench{Poller: name, Clients: n, Rounds: p.Rounds()}
+		r := minRounds(3,
+			func() testing.BenchmarkResult {
+				return testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						p.Assign(clients, benchRSS)
+					}
+				})
+			},
+			func() testing.BenchmarkResult {
+				rng := rand.New(rand.NewSource(seed))
+				ctx := poll.Context{Queue: benchQueue, RSSAtAP: benchRSS, NoiseDBm: -95, Rng: rng}
+				return testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						p.Poll(ctx)
+					}
+				})
+			},
+		)
+		pb.Assign, pb.Poll = micro(r[0]), micro(r[1])
+		rep.Pollers = append(rep.Pollers, pb)
+	}
+
+	// The zero-alloc gate: ROP's decode with caller-owned scratch. 24 clients
+	// (a full subchannel set), warm Result reused across iterations.
+	fmt.Fprintln(os.Stderr, "rop.DecodeInto zero-alloc gate...")
+	clients := make([]phy.NodeID, rop.MaxClients)
+	for i := range clients {
+		clients[i] = phy.NodeID(i + 2)
+	}
+	a := rop.Assign(clients, benchRSS)
+	var res rop.Result
+	rop.DecodeInto(&res, a, benchQueue, benchRSS, -95) // warm the scratch
+	rep.ROPDecodeInto = micro(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rop.DecodeInto(&res, a, benchQueue, benchRSS, -95)
+		}
+	}))
+
+	fail := false
+	if rep.ROPDecodeInto.AllocsPerOp != 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: rop.DecodeInto allocates %d/op with warm scratch, want 0\n",
+			rep.ROPDecodeInto.AllocsPerOp)
+		fail = true
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s [gomaxprocs=%d num_cpu=%d]:", out, rep.GoMaxProcs, rep.NumCPU)
+	for _, pb := range rep.Pollers {
+		fmt.Printf(" %s(n=%d,r=%d) assign %.0f ns poll %.0f ns;",
+			pb.Poller, pb.Clients, pb.Rounds, pb.Assign.NsPerOp, pb.Poll.NsPerOp)
+	}
+	fmt.Printf(" DecodeInto %.0f ns %d allocs\n",
+		rep.ROPDecodeInto.NsPerOp, rep.ROPDecodeInto.AllocsPerOp)
+	if fail {
+		os.Exit(1)
+	}
+}

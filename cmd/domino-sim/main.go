@@ -68,6 +68,7 @@ func main() {
 		noUp      = flag.Bool("nouplink", false, "omit uplink links")
 		trace     = flag.Bool("trace", false, "print DOMINO engine trace events")
 		schedFl   = flag.String("scheduler", "", "DOMINO strict scheduling policy by name (see internal/strict registry; a spec's scheme_config.scheduler wins)")
+		pollerFl  = flag.String("poller", "", "DOMINO polling scheme by name (see internal/poll registry: ROP, A2P, UORA; a spec's scheme_config.poller wins)")
 		convTrace = flag.Bool("convert-trace", false, "emit per-batch schedule-conversion records into the NDJSON trace (DOMINO)")
 		noCache   = flag.Bool("no-convert-cache", false, "disable DOMINO's conversion cache")
 		noInc     = flag.Bool("no-incremental", false, "disable DOMINO's incremental re-conversion memos")
@@ -165,10 +166,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "domino-sim: %v\n", err)
 		os.Exit(2)
 	}
-	if *schedFl != "" || *convTrace || *noCache || *noInc || *verifyCvt {
+	if *schedFl != "" || *pollerFl != "" || *convTrace || *noCache || *noInc || *verifyCvt {
 		// CLI-level DOMINO knobs ride the typed tune hook, which core runs
 		// before the spec's scheme_config — so a spec file always wins.
-		sched, ct, nc, ni, vc := *schedFl, *convTrace, *noCache, *noInc, *verifyCvt
+		sched, pollerName, ct, nc, ni, vc := *schedFl, *pollerFl, *convTrace, *noCache, *noInc, *verifyCvt
 		prev := sc.TuneDomino
 		sc.TuneDomino = func(c *domino.Config) {
 			if prev != nil {
@@ -176,6 +177,9 @@ func main() {
 			}
 			if sched != "" {
 				c.Scheduler = sched
+			}
+			if pollerName != "" {
+				c.Poller = pollerName
 			}
 			c.ConvertTrace = c.ConvertTrace || ct
 			c.NoConvertCache = c.NoConvertCache || nc
@@ -270,9 +274,17 @@ func main() {
 	for _, l := range res.SkippedLinks {
 		fmt.Printf("  %-12s (skipped: zero offered rate)\n", l)
 	}
+	if len(res.UnpolledClients) > 0 {
+		fmt.Printf("unpolled clients (over the poller's per-AP limit; never polled): %v\n",
+			res.UnpolledClients)
+	}
 	if d := res.Domino; d != nil {
 		fmt.Printf("domino: slots=%d data=%d fake=%d polls=%d ackMisses=%d selfStarts=%d drops=%d\n",
 			d.Slots(), d.DataSends, d.FakeSends, d.Polls, d.AckMisses, d.SelfStarts, d.Drops)
+		if d.PollRounds > 0 && (d.PollCollisions > 0 || d.PollRounds > d.Polls) {
+			fmt.Printf("domino: pollRounds=%d collisions=%d decoded=%d failed=%d\n",
+				d.PollRounds, d.PollCollisions, d.PollDecoded, d.PollFailed)
+		}
 		if hits, misses := d.ConvertCacheStats(); hits+misses > 0 {
 			fmt.Printf("domino: convert cache hits=%d misses=%d (%.0f%% hit rate)\n",
 				hits, misses, 100*float64(hits)/float64(hits+misses))

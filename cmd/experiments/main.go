@@ -100,6 +100,9 @@ func experiments() []experiment {
 		{"schedulers", "DOMINO under each registered strict scheduling policy",
 			func(o exp.Options) error { return printErr(exp.SchedulerSweep(o)) },
 			func(o exp.Options, w io.Writer) error { return csvErr(exp.SchedulerSweep(o))(w) }},
+		{"pollers", "DOMINO under each registered polling scheme vs client count",
+			func(o exp.Options) error { return printErr(exp.PollerSweep(o)) },
+			func(o exp.Options, w io.Writer) error { return csvErr(exp.PollerSweep(o))(w) }},
 	}
 }
 

@@ -171,6 +171,13 @@ type Result struct {
 	// it. spec.Validate rejects such specs up front.
 	SkippedLinks []*topo.Link
 
+	// UnpolledClients lists clients DOMINO's poller could not fit into its
+	// layout (more clients on one AP than the poller's MaxClients — the
+	// paper's ROP caps at 24): they run but are never polled, so the server
+	// only learns their backlog by piggyback. Callers should report them
+	// like SkippedLinks instead of hiding the truncation.
+	UnpolledClients []phy.NodeID
+
 	// Scheme internals for deeper inspection (nil unless that scheme ran).
 	Domino    *domino.Engine
 	Dcf       *dcf.Engine
@@ -371,6 +378,7 @@ func NewInstance(s Scenario) (*Instance, error) {
 		}
 		res.Domino = e
 		res.Misalign = e.Misalign
+		res.UnpolledClients = e.UnpolledClients
 	case *strict.Omniscient:
 		res.Omni = e
 	}

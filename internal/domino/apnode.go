@@ -7,7 +7,7 @@ import (
 	"repro/internal/convert"
 	"repro/internal/mac"
 	"repro/internal/phy"
-	"repro/internal/rop"
+	"repro/internal/poll"
 	"repro/internal/sim"
 	"repro/internal/topo"
 )
@@ -40,9 +40,11 @@ type armedTx struct {
 // Access point
 
 type apNode struct {
-	e      *Engine
-	id     phy.NodeID
-	assign rop.Assignment
+	e  *Engine
+	id phy.NodeID
+	// poller owns this AP's client → subchannel/round layout and the decode
+	// of each polling cycle (internal/poll registry; ROP by default).
+	poller poll.Poller
 
 	known   int // exclusive upper bound of slots received from the server
 	actions []action
@@ -197,7 +199,7 @@ func (ap *apNode) onTrigger(pl *phy.SignaturePayload) {
 	hint := pl.SlotHint
 	delay := sim.Time(0)
 	if pl.ROP {
-		delay = e.cfg.ropSlotDuration()
+		delay = e.pollGap()
 	}
 	if ap.armed != nil {
 		// Re-reference an armed transmission for this very slot ("the
@@ -464,19 +466,36 @@ func (ap *apNode) doPollNow(slotIdx int) {
 	// The poll is part of the current chain node: airtime and rop_poll
 	// records accrue to the AP's reference span rather than a fresh one.
 	pollSpan := ap.refSpan
+	rounds := sim.Time(1)
+	if ap.poller != nil {
+		rounds = sim.Time(ap.poller.Rounds())
+	}
+	// A multi-round cycle holds the channel for rounds consecutive poll
+	// exchanges; a single frame of rounds × the poll air time models it.
 	e.medium.Transmit(ap.id, &phy.Frame{
-		Kind: phy.Poll, Dst: phy.Broadcast, Duration: e.cfg.pollAirtime(),
+		Kind: phy.Poll, Dst: phy.Broadcast, Duration: rounds * e.cfg.pollAirtime(),
 		Payload: ap.id, ObsSpan: pollSpan,
 	})
 	ap.lastSlot = slotIdx
 	ap.lastSlotStart = e.k.Now() - e.cfg.slotDuration()
 	ap.scheduleSelfArm(slotIdx, ap.lastSlotStart)
-	decodeAt := e.cfg.pollAirtime() + phy.SlotTime + sim.Micros(16)
+	// Each round takes one poll air time, the WiFi-slot turnaround and the
+	// 16 µs control symbol; the cycle's decode completes after the last.
+	decodeAt := rounds * (e.cfg.pollAirtime() + phy.SlotTime + sim.Micros(16))
 	e.k.After(decodeAt, func() {
-		res := rop.DecodeObserved(ap.assign,
-			func(c phy.NodeID) int { return e.clientBacklog(c) },
-			func(c phy.NodeID) float64 { return e.net.RSS[c][ap.id] },
-			e.medium.Config().NoiseDBm, e.k.Rand(), e.Obs, e.k.Now(), pollSpan)
+		if ap.poller == nil {
+			return
+		}
+		res := ap.poller.Poll(poll.Context{
+			Queue:    func(c phy.NodeID) int { return e.clientBacklog(c) },
+			RSSAtAP:  func(c phy.NodeID) float64 { return e.net.RSS[c][ap.id] },
+			NoiseDBm: e.medium.Config().NoiseDBm,
+			Rng:      e.k.Rand(),
+			Tracer:   e.Obs,
+			Now:      e.k.Now(),
+			Span:     pollSpan,
+		})
+		e.notePollCycle(res)
 		lat := e.cfg.WiredLatencyMean +
 			sim.Time(e.k.Rand().NormFloat64()*float64(e.cfg.WiredLatencyStd))
 		if lat < 0 {

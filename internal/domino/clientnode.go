@@ -146,7 +146,7 @@ func (c *clientNode) onTrigger(pl *phy.SignaturePayload) {
 	c.refSpan, c.depth = e.noteTrigger(c.id, pl)
 	delay := sim.Time(0)
 	if pl.ROP {
-		delay = e.cfg.ropSlotDuration()
+		delay = e.pollGap()
 	}
 	c.lastHint = pl.SlotHint
 	if c.armed != nil {

@@ -7,6 +7,8 @@
 package domino
 
 import (
+	"encoding/json"
+
 	"repro/internal/mac"
 	"repro/internal/phy"
 	"repro/internal/sim"
@@ -94,6 +96,15 @@ type Config struct {
 	// (*255 has no true Gold preferred pair — m=8 ≡ 0 mod 4 — so the 511
 	// set serves that capacity bracket too.)
 	SignatureChips int
+	// Poller selects the polling scheme by registered name (internal/poll
+	// registry: ROP, A2P, UORA and their aliases, case-insensitive). Empty
+	// means the paper's ROP. Multi-round pollers widen every poll boundary to
+	// rounds × the ROP slot duration, so the relative schedule stays
+	// renegotiation-free.
+	Poller string
+	// PollerConfig overlays poller-specific knobs (a JSON object of the
+	// poller's config-struct fields) on its defaults. Ignored when empty.
+	PollerConfig json.RawMessage
 	// Piggyback replaces Rapid OFDM Polling with the naive piggyback scheme
 	// the paper argues against (§2): clients report their backlog only in
 	// the headers of packets they send, so a client that falls silent can

@@ -3,6 +3,7 @@ package domino
 import (
 	"repro/internal/convert"
 	"repro/internal/obs"
+	"repro/internal/poll"
 )
 
 // convertMetrics caches the registry pointers the conversion pipeline bumps
@@ -27,6 +28,10 @@ type convertMetrics struct {
 
 	// Incremental-layer reuse, per batch (zero on cache hits).
 	incCoverReuse, incPairReuse *obs.Counter
+
+	// Poller-cycle outcomes (internal/poll), per decode cycle.
+	pollRounds, pollCollisions     *obs.Counter
+	pollDecoded, pollFailedReports *obs.Counter
 }
 
 // WireMetrics implements scheme.MetricsObservable: the run pipeline hands the
@@ -56,6 +61,11 @@ func (e *Engine) WireMetrics(m *obs.Metrics) {
 
 		incCoverReuse: m.Counter("convert.inc.cover_reuse"),
 		incPairReuse:  m.Counter("convert.inc.pair_reuse"),
+
+		pollRounds:        m.Counter("poll.rounds"),
+		pollCollisions:    m.Counter("poll.collisions"),
+		pollDecoded:       m.Counter("poll.decoded"),
+		pollFailedReports: m.Counter("poll.failed"),
 	}
 	for i, name := range convert.PassNames {
 		full := "convert.pass." + name + ".ns"
@@ -67,6 +77,21 @@ func (e *Engine) WireMetrics(m *obs.Metrics) {
 	}
 	e.convMetrics = cm
 	e.chainDepth = m.LogHist("domino.chain_depth")
+}
+
+// notePollCycle accounts one completed polling cycle: engine counters always,
+// metrics counters when wired.
+func (e *Engine) notePollCycle(res poll.Result) {
+	e.PollRounds += res.Rounds
+	e.PollCollisions += res.Collisions
+	e.PollDecoded += len(res.Values)
+	e.PollFailed += len(res.Failed)
+	if cm := e.convMetrics; cm != nil {
+		cm.pollRounds.Add(int64(res.Rounds))
+		cm.pollCollisions.Add(int64(res.Collisions))
+		cm.pollDecoded.Add(int64(len(res.Values)))
+		cm.pollFailedReports.Add(int64(len(res.Failed)))
+	}
 }
 
 // noteConvert accounts one dispatched batch: counters into the metrics

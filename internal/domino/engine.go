@@ -8,7 +8,8 @@ import (
 	"repro/internal/mac"
 	"repro/internal/obs"
 	"repro/internal/phy"
-	"repro/internal/rop"
+	"repro/internal/poll"
+	_ "repro/internal/rop" // registers the default ROP poller
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/strict"
@@ -83,6 +84,16 @@ type Engine struct {
 	// installed a registry; nil means no metrics accounting at all.
 	convMetrics *convertMetrics
 
+	// pollRounds is the engine-wide poll-gap multiplier: the maximum Rounds()
+	// over every AP's poller (≥ 1). Every reserved poll boundary spans
+	// pollRounds × the ROP slot duration so all APs agree on slot offsets.
+	pollRounds int
+	// UnpolledClients lists clients left out of polling because their AP had
+	// more clients than its poller supports (Descriptor.MaxClients); the
+	// strongest clients by RSS were kept. The paper's ROP caps at 24; A2P and
+	// UORA are unbounded. Replaces the former hard panic.
+	UnpolledClients []phy.NodeID
+
 	// Counters.
 	DataSends  int
 	FakeSends  int
@@ -98,6 +109,23 @@ type Engine struct {
 	TriggerMisses int
 	TriggerLate   int
 	FalseTriggers int
+	// Poller outcome counters: rounds and random-access collisions across all
+	// polling cycles, and how many per-client reports decoded vs failed.
+	PollRounds     int
+	PollCollisions int
+	PollDecoded    int
+	PollFailed     int
+}
+
+// pollGap is the air time every schedule reserves for one complete polling
+// cycle: the per-round ROP slot times the engine-wide round count. With the
+// default single-round ROP this is exactly the classic ROP slot.
+func (e *Engine) pollGap() sim.Time {
+	r := e.pollRounds
+	if r < 1 {
+		r = 1
+	}
+	return sim.Time(r) * e.cfg.ropSlotDuration()
 }
 
 // falseTrigger rolls the correlator's false-positive dice for a signature
@@ -178,13 +206,46 @@ func New(k *sim.Kernel, medium *phy.Medium, g *topo.ConflictGraph, events mac.Ev
 		panic(fmt.Sprintf("domino: %d nodes exceed the %d-signature capacity; use longer codes (Config.SignatureChips)",
 			n, cfg.SignatureCapacity()))
 	}
-	// Subchannel assignments per AP.
-	for apID, ap := range e.aps {
-		clients := e.net.Clients(apID)
-		if len(clients) > rop.MaxClients {
-			panic(fmt.Sprintf("domino: AP %d has %d clients; poll sets unimplemented", apID, len(clients)))
+	// Poller instances per AP (internal/poll registry; default ROP). The AP
+	// slice is iterated in network order so UnpolledClients is deterministic.
+	pollerName := cfg.Poller
+	if pollerName == "" {
+		pollerName = "ROP"
+	}
+	pd, ok := poll.Lookup(pollerName)
+	if !ok {
+		panic(fmt.Sprintf("domino: unknown poller %q", pollerName))
+	}
+	e.pollRounds = 1
+	for _, apID := range e.net.APs {
+		ap, here := e.aps[apID]
+		if !here {
+			continue
 		}
-		ap.assign = rop.Assign(clients, func(c phy.NodeID) float64 { return e.net.RSS[c][apID] })
+		apID := apID
+		rssFn := func(c phy.NodeID) float64 { return e.net.RSS[c][apID] }
+		clients := e.net.Clients(apID)
+		if pd.MaxClients > 0 && len(clients) > pd.MaxClients {
+			// More clients than the poller's layout supports: keep the
+			// strongest MaxClients and surface the rest instead of panicking
+			// (the former behaviour). Callers report Engine.UnpolledClients
+			// alongside SkippedLinks.
+			sorted := append([]phy.NodeID(nil), clients...)
+			sort.SliceStable(sorted, func(a, b int) bool {
+				return rssFn(sorted[a]) > rssFn(sorted[b])
+			})
+			clients = sorted[:pd.MaxClients]
+			e.UnpolledClients = append(e.UnpolledClients, sorted[pd.MaxClients:]...)
+		}
+		p, err := poll.Build(pollerName, cfg.PollerConfig)
+		if err != nil {
+			panic(fmt.Sprintf("domino: %v", err))
+		}
+		p.Assign(clients, rssFn)
+		if r := p.Rounds(); r > e.pollRounds {
+			e.pollRounds = r
+		}
+		ap.poller = p
 	}
 	e.server = newServer(e)
 	e.refGroup = triggerComponents(g.Net)
@@ -553,7 +614,7 @@ func (s *server) buildAndDispatch() {
 		if n := len(e.slotOffset); n > 0 {
 			last = e.slotOffset[n-1] + e.cfg.slotDuration()
 			if prev := e.slots[len(e.slots)-2]; len(prev.ROPAfter) > 0 {
-				last += e.cfg.ropSlotDuration()
+				last += e.pollGap()
 			}
 			if i == 0 {
 				last += e.cfg.CoPDuration
@@ -587,7 +648,7 @@ func (s *server) buildAndDispatch() {
 	// no executable entries) the server must still move forward.
 	snapshot := len(e.slots)
 	nominal := sim.Time(len(plan.Slots))*e.cfg.slotDuration() +
-		sim.Time(ropSlots)*e.cfg.ropSlotDuration()
+		sim.Time(ropSlots)*e.pollGap()
 	e.k.After(2*nominal+10*e.cfg.slotDuration(), func() {
 		if len(e.slots) == snapshot && !e.buildPending {
 			e.buildPending = true
@@ -613,7 +674,7 @@ func (e *Engine) noteProgress(idx int) {
 }
 
 // pollResult integrates a poll outcome after its wired trip to the server.
-func (s *server) pollResult(res rop.Result, clientUplink func(phy.NodeID) *topo.Link) {
+func (s *server) pollResult(res poll.Result, clientUplink func(phy.NodeID) *topo.Link) {
 	for c, v := range res.Values {
 		if l := clientUplink(c); l != nil {
 			s.upEst[l.ID] = v
@@ -680,7 +741,7 @@ func (e *Engine) deliverBundle(bundle []*mac.Packet) {
 func (e *Engine) gapAfter(idx int) sim.Time {
 	if idx+1 >= len(e.slotOffset) || idx < 0 {
 		if idx >= 0 && idx < len(e.slots) && len(e.slots[idx].ROPAfter) > 0 {
-			return e.cfg.ropSlotDuration()
+			return e.pollGap()
 		}
 		return 0
 	}

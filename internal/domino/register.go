@@ -2,10 +2,13 @@ package domino
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/mac"
 	"repro/internal/obs"
+	"repro/internal/phy"
+	"repro/internal/poll"
 	"repro/internal/scheme"
 	"repro/internal/strict"
 )
@@ -47,6 +50,21 @@ func init() {
 						c.Scheduler, strings.Join(strict.SchedulerNames(), ", "))
 				}
 			}
+			// Same for the poller name and knobs: a trial Build catches bad
+			// knob values (range errors) before New's panic.
+			if c.Poller != "" {
+				if _, ok := poll.Lookup(c.Poller); !ok {
+					return nil, fmt.Errorf("domino: unknown poller %q (registered: %s)",
+						c.Poller, strings.Join(poll.Names(), ", "))
+				}
+			}
+			pollerName := c.Poller
+			if pollerName == "" {
+				pollerName = "ROP"
+			}
+			if _, err := poll.Build(pollerName, c.PollerConfig); err != nil {
+				return nil, fmt.Errorf("domino: %v", err)
+			}
 			return New(ctx.Kernel, ctx.Medium, ctx.Graph, ctx.Events, *c), nil
 		},
 		Checkpointer: func(e mac.Engine) scheme.EngineState {
@@ -55,17 +73,37 @@ func init() {
 				return scheme.EngineState{Scheme: "DOMINO"}
 			}
 			hits, misses := eng.ConvertCacheStats()
-			return scheme.EngineState{Scheme: "DOMINO", Counters: map[string]int64{
-				"slots":        int64(eng.Slots()),
-				"data_sends":   int64(eng.DataSends),
-				"fake_sends":   int64(eng.FakeSends),
-				"polls":        int64(eng.Polls),
-				"ack_misses":   int64(eng.AckMisses),
-				"self_starts":  int64(eng.SelfStarts),
-				"drops":        int64(eng.Drops),
-				"cache_hits":   hits,
-				"cache_misses": misses,
-			}}
+			counters := map[string]int64{
+				"slots":           int64(eng.Slots()),
+				"data_sends":      int64(eng.DataSends),
+				"fake_sends":      int64(eng.FakeSends),
+				"polls":           int64(eng.Polls),
+				"ack_misses":      int64(eng.AckMisses),
+				"self_starts":     int64(eng.SelfStarts),
+				"drops":           int64(eng.Drops),
+				"cache_hits":      hits,
+				"cache_misses":    misses,
+				"poll_rounds":     int64(eng.PollRounds),
+				"poll_collisions": int64(eng.PollCollisions),
+			}
+			// Merge each AP poller's own counters (UORA contention state) in
+			// deterministic AP order, so checkpoint/restore digests verify the
+			// poller replayed identically.
+			apIDs := make([]int, 0, len(eng.aps))
+			for id := range eng.aps {
+				apIDs = append(apIDs, int(id))
+			}
+			sort.Ints(apIDs)
+			for _, id := range apIDs {
+				ap := eng.aps[phy.NodeID(id)]
+				if ap.poller == nil {
+					continue
+				}
+				for k, v := range ap.poller.State() {
+					counters[k] += v
+				}
+			}
+			return scheme.EngineState{Scheme: "DOMINO", Counters: counters}
 		},
 	})
 }

@@ -101,6 +101,37 @@ func Decode(a Assignment, queue func(phy.NodeID) int, rssAtAP func(phy.NodeID) f
 	return res
 }
 
+// DecodeInto is Decode reusing caller-owned scratch: res.Values is cleared
+// and refilled, res.Failed truncated and re-appended, so a warm Result makes
+// the decode hot path allocation-free (the benchreport -poll gate pins it at
+// zero allocs). The engine keeps using Decode — its results cross an async
+// wired-latency boundary and must not share scratch between polls.
+func DecodeInto(res *Result, a Assignment, queue func(phy.NodeID) int,
+	rssAtAP func(phy.NodeID) float64, noiseDBm float64) {
+	if res.Values == nil {
+		res.Values = make(map[phy.NodeID]int, len(a.Clients))
+	}
+	for k := range res.Values {
+		delete(res.Values, k)
+	}
+	res.Failed = res.Failed[:0]
+	for i, c := range a.Clients {
+		rss := rssAtAP(c)
+		ok := rss-noiseDBm >= 4
+		if i > 0 && rssAtAP(a.Clients[i-1])-rss > ToleranceDB {
+			ok = false
+		}
+		if i+1 < len(a.Clients) && rssAtAP(a.Clients[i+1])-rss > ToleranceDB {
+			ok = false
+		}
+		if !ok {
+			res.Failed = append(res.Failed, c)
+			continue
+		}
+		res.Values[c] = defaultLayout.EncodeQueue(queue(c))
+	}
+}
+
 // DecodeObserved is Decode plus observability: when tr is non-nil it emits
 // one KindROPPoll record per assigned client in assignment order (Node the
 // client, Value the decoded backlog, Extra the subchannel, OK whether the

@@ -51,6 +51,10 @@ type Server struct {
 	mu   sync.Mutex
 	runs map[string]*managedRun
 	next int
+	// activeExec counts runs currently past the admission gate (executing on
+	// a worker). A spec's run.max_concurrent_runs is enforced against it:
+	// the knob only tightens the operator's MaxRuns fleet, never widens it.
+	activeExec int
 }
 
 // ServerOptions configures the daemon.
@@ -265,6 +269,18 @@ func (s *Server) execute(ctx context.Context, m *managedRun) {
 		}
 		return
 	}
+	// Enforce the spec's run.max_concurrent_runs: a run whose spec sets the
+	// knob waits here — externally still Queued — until fewer than its limit
+	// of runs are executing. Every run passes the gate (so limited runs see
+	// unlimited ones as occupancy), and the knob can only tighten the
+	// operator's MaxRuns fleet: the waiting run holds its pool worker.
+	if !s.acquireExecSlot(ctx, m) {
+		if s.ctx.Err() == nil && ctx.Err() != nil {
+			m.markCancelled()
+		}
+		return
+	}
+	defer s.releaseExecSlot()
 	tracePath := filepath.Join(m.dir, "trace.ndjson")
 	cpPath := filepath.Join(m.dir, "checkpoint.json")
 
@@ -372,6 +388,36 @@ func (s *Server) execute(ctx context.Context, m *managedRun) {
 	m.sinkMu.Lock()
 	m.hub.Close() // end-of-stream for trace subscribers
 	m.sinkMu.Unlock()
+}
+
+// acquireExecSlot admits a run into the executing set, honouring its spec's
+// run.max_concurrent_runs (0 = no spec limit, admit immediately). It returns
+// false when the run's context dies while waiting.
+func (s *Server) acquireExecSlot(ctx context.Context, m *managedRun) bool {
+	limit := 0
+	if rc, err := m.sp.RunControl(); err == nil {
+		limit = rc.MaxConcurrentRuns
+	}
+	for {
+		s.mu.Lock()
+		if limit <= 0 || s.activeExec < limit {
+			s.activeExec++
+			s.mu.Unlock()
+			return true
+		}
+		s.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+func (s *Server) releaseExecSlot() {
+	s.mu.Lock()
+	s.activeExec--
+	s.mu.Unlock()
 }
 
 // writeCheckpoint flushes and syncs the trace, then atomically replaces the

@@ -341,6 +341,70 @@ func TestServerConcurrentRuns(t *testing.T) {
 	}
 }
 
+// TestServerSpecConcurrencyLimit pins the spec-side run.max_concurrent_runs
+// knob: on a fleet with room for both (MaxRuns=2), two specs that each set
+// max_concurrent_runs: 1 serialize — the second submission stays queued while
+// the first executes, and both still complete.
+func TestServerSpecConcurrencyLimit(t *testing.T) {
+	mkSpec := func(schemeName string) spec.Spec {
+		sp := singleSpec(schemeName)
+		sp.Duration = spec.Duration(1 * sim.Second)
+		sp.Run = []byte(`{"step_events": 211, "max_concurrent_runs": 1}`)
+		return sp
+	}
+
+	dir := t.TempDir()
+	srv, err := run.NewServer(run.ServerOptions{DataDir: dir, MaxRuns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	a := postSpec(t, ts, mkSpec("DCF"))
+	b := postSpec(t, ts, mkSpec("DOMINO"))
+
+	// While either run is short of done, the pair must never execute
+	// simultaneously; and at least once we should catch one running while
+	// the other is still queued (skip if both finish too fast to observe).
+	sawSerialized := false
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		stA, stB := getStatus(t, ts, a), getStatus(t, ts, b)
+		if stA.State == run.StateRunning && stB.State == run.StateRunning {
+			// The two reads are not an atomic snapshot: A may have finished
+			// and released its slot between them. States only move forward
+			// (no pause in this test), so A still running after B was seen
+			// running proves a genuine overlap; otherwise the first read was
+			// just stale.
+			if stA2 := getStatus(t, ts, a); stA2.State == run.StateRunning {
+				t.Fatalf("both runs executing at once despite max_concurrent_runs=1: %+v %+v", stA2, stB)
+			}
+			continue
+		}
+		if (stA.State == run.StateRunning && stB.State == run.StateQueued) ||
+			(stB.State == run.StateRunning && stA.State == run.StateQueued) {
+			sawSerialized = true
+		}
+		if stA.State == run.StateDone && stB.State == run.StateDone {
+			break
+		}
+		if stA.State == run.StateFailed || stB.State == run.StateFailed {
+			t.Fatalf("run failed: %+v %+v", stA, stB)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, id := range []string{a, b} {
+		if st := waitState(t, ts, id, run.StateDone, run.StateFailed); st.State != run.StateDone {
+			t.Fatalf("run %s: %+v", id, st)
+		}
+	}
+	if !sawSerialized {
+		t.Log("runs finished before the queued/running overlap was observed (slow-host tolerance; exclusivity still checked)")
+	}
+}
+
 // TestServerFleetBound pins that MaxRuns=1 serializes runs rather than
 // rejecting the second submission.
 func TestServerFleetBound(t *testing.T) {

@@ -15,6 +15,8 @@ import (
 	"strings"
 
 	"repro/internal/phy"
+	"repro/internal/poll"
+	_ "repro/internal/rop" // registers the default ROP poller for validation
 	"repro/internal/scheme"
 	"repro/internal/strict"
 )
@@ -240,6 +242,9 @@ func (s Spec) Validate() error {
 		if err := s.validateScheduler(probe); err != nil {
 			return err
 		}
+		if err := s.validatePoller(probe); err != nil {
+			return err
+		}
 	}
 	if err := s.validateRun(); err != nil {
 		return err
@@ -333,6 +338,78 @@ func (s Spec) validateScheduler(probe map[string]any) error {
 		if _, ok := strict.LookupScheduler(name); !ok {
 			return fmt.Errorf("spec: unknown scheduler %q (registered: %s)",
 				name, strings.Join(strict.SchedulerNames(), ", "))
+		}
+	}
+	return nil
+}
+
+// validatePoller checks a DOMINO scheme_config's poller name against the poll
+// registry and its PollerConfig keys against that poller's knob struct, so
+// typos fail at Validate instead of deep inside the engine build.
+func (s Spec) validatePoller(probe map[string]any) error {
+	d, ok := scheme.Lookup(s.Scheme)
+	if !ok || d.Name != "DOMINO" {
+		return nil
+	}
+	pollerName := ""
+	for k, v := range probe {
+		if !strings.EqualFold(k, "poller") {
+			continue
+		}
+		name, ok := v.(string)
+		if !ok {
+			return fmt.Errorf("spec: scheme_config.poller must be a string, got %T", v)
+		}
+		pollerName = name
+	}
+	var pd *poll.Descriptor
+	if pollerName != "" {
+		var ok bool
+		pd, ok = poll.Lookup(pollerName)
+		if !ok {
+			return fmt.Errorf("spec: unknown poller %q (registered: %s)",
+				pollerName, strings.Join(poll.Names(), ", "))
+		}
+	} else {
+		pd, _ = poll.Lookup("ROP")
+	}
+	for k, v := range probe {
+		if !strings.EqualFold(k, "pollerconfig") {
+			continue
+		}
+		knobs, ok := v.(map[string]any)
+		if !ok {
+			return fmt.Errorf("spec: scheme_config.PollerConfig must be a JSON object, got %T", v)
+		}
+		if pd == nil {
+			continue
+		}
+		if pd.DefaultConfig == nil {
+			if len(knobs) > 0 {
+				return fmt.Errorf("spec: poller %s has no knobs; drop the PollerConfig object", pd.Name)
+			}
+			continue
+		}
+		t := reflect.TypeOf(pd.DefaultConfig())
+		for t != nil && t.Kind() == reflect.Pointer {
+			t = t.Elem()
+		}
+		if t == nil || t.Kind() != reflect.Struct {
+			continue
+		}
+		fields := map[string]string{}
+		collectConfigFields(t, fields)
+		for knob := range knobs {
+			if _, ok := fields[strings.ToLower(knob)]; ok {
+				continue
+			}
+			names := make([]string, 0, len(fields))
+			for _, n := range fields {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			return fmt.Errorf("spec: scheme_config.PollerConfig: poller %s has no knob %q (knobs: %s)",
+				pd.Name, knob, strings.Join(names, ", "))
 		}
 	}
 	return nil

@@ -168,6 +168,44 @@ func TestValidateCatalog(t *testing.T) {
 			// fires before the DOMINO-only scheduler-name check would.
 			s.SchemeConfig = json.RawMessage(`{"scheduler": "sjf"}`)
 		}, `DCF config has no field "scheduler"`},
+		{"domino poller ok", func(s *spec.Spec) {
+			s.Scheme = "domino"
+			s.SchemeConfig = json.RawMessage(`{"poller": "a2p"}`)
+		}, ""},
+		{"domino poller alias ok", func(s *spec.Spec) {
+			s.Scheme = "domino"
+			s.SchemeConfig = json.RawMessage(`{"Poller": "random-access"}`)
+		}, ""},
+		{"domino unknown poller", func(s *spec.Spec) {
+			s.Scheme = "domino"
+			s.SchemeConfig = json.RawMessage(`{"poller": "csma"}`)
+		}, "unknown poller"},
+		{"domino poller wrong type", func(s *spec.Spec) {
+			s.Scheme = "domino"
+			s.SchemeConfig = json.RawMessage(`{"poller": 7}`)
+		}, "must be a string"},
+		{"domino poller knobs ok", func(s *spec.Spec) {
+			s.Scheme = "domino"
+			s.SchemeConfig = json.RawMessage(`{"Poller": "A2P", "PollerConfig": {"GroupSize": 12}}`)
+		}, ""},
+		{"domino poller knob case-insensitive", func(s *spec.Spec) {
+			s.Scheme = "domino"
+			s.SchemeConfig = json.RawMessage(`{"poller": "uora", "pollerconfig": {"raruS": 4}}`)
+		}, ""},
+		{"domino poller bad knob", func(s *spec.Spec) {
+			s.Scheme = "domino"
+			s.SchemeConfig = json.RawMessage(`{"Poller": "A2P", "PollerConfig": {"GroupSiz": 12}}`)
+		}, `poller A2P has no knob "GroupSiz"`},
+		{"domino default-poller bad knob", func(s *spec.Spec) {
+			// No poller key: knobs validate against the default ROP, which
+			// has none at all.
+			s.Scheme = "domino"
+			s.SchemeConfig = json.RawMessage(`{"PollerConfig": {"GroupSize": 12}}`)
+		}, "poller ROP has no knobs"},
+		{"domino poller config wrong type", func(s *spec.Spec) {
+			s.Scheme = "domino"
+			s.SchemeConfig = json.RawMessage(`{"Poller": "A2P", "PollerConfig": [1]}`)
+		}, "PollerConfig must be a JSON object"},
 		{"domino convert knobs ok", func(s *spec.Spec) {
 			s.Scheme = "domino"
 			s.SchemeConfig = json.RawMessage(`{"NoIncremental": true, "ConvertCacheCap": 256, "VerifyConvert": true}`)
